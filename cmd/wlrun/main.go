@@ -1,0 +1,86 @@
+// wlrun runs a WL program: the uninstrumented baseline of the
+// whole-program-paths pipeline.
+//
+// Usage:
+//
+//	wlrun [-stats] [-dis] [-fmt] [-O] program.wl [arg ...]
+//
+// Args are int64 values passed to main. -O compiles with the optimizer;
+// -fmt pretty-prints the (optionally optimized) source instead of
+// running; -dis prints the IR instead of running.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/wl"
+	"repro/internal/wlc"
+	"repro/wpp"
+)
+
+func main() {
+	stats := flag.Bool("stats", false, "print execution statistics")
+	dis := flag.Bool("dis", false, "print IR disassembly instead of running")
+	format := flag.Bool("fmt", false, "pretty-print the program instead of running")
+	optimize := flag.Bool("O", false, "enable the optimizer (constant folding)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: wlrun [-stats] [-dis] [-fmt] [-O] program.wl [arg ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if *format {
+		file, err := wl.Parse(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		if err := wl.Check(file); err != nil {
+			fatal(err)
+		}
+		if *optimize {
+			wlc.Fold(file)
+		}
+		fmt.Print(wl.Format(file))
+		return
+	}
+	prog, err := wpp.CompileWithOptions(string(src), wpp.CompileOptions{Optimize: *optimize})
+	if err != nil {
+		fatal(err)
+	}
+	if *dis {
+		fmt.Print(prog.Disassemble())
+		return
+	}
+	var args []int64
+	for _, a := range flag.Args()[1:] {
+		v, err := strconv.ParseInt(a, 10, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad argument %q: %w", a, err))
+		}
+		args = append(args, v)
+	}
+	res, st, err := prog.Run(args, wpp.WithStdout(os.Stdout))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("result: %d\n", res)
+	if *stats {
+		fmt.Printf("instructions: %d\nblocks: %d\ncalls: %d\ntime: %v\n",
+			st.Instructions, st.BlocksExecuted, st.Calls, st.Duration)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wlrun:", err)
+	os.Exit(1)
+}

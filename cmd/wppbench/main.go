@@ -1,0 +1,104 @@
+// wppbench regenerates the tables and figures of the whole-program-paths
+// evaluation (see DESIGN.md for the paper mapping).
+//
+// Usage:
+//
+//	wppbench [-exp all|e1,e2,e3,e4,e5,e6,a1,a2] [-scale small|medium|large] [-reps 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/hotpath"
+	"repro/internal/workloads"
+)
+
+func main() {
+	expFlag := flag.String("exp", "all", "comma-separated experiment IDs (e1..e6,a1,a2) or 'all'")
+	scaleFlag := flag.String("scale", "medium", "workload scale (small|medium|large)")
+	reps := flag.Int("reps", 3, "repetitions for timing experiments (best-of)")
+	flag.Parse()
+
+	scale, err := experiments.ParseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	want := map[string]bool{}
+	if *expFlag == "all" {
+		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "a1", "a2", "a3", "a4", "a5", "a6"} {
+			want[id] = true
+		}
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			want[strings.ToLower(strings.TrimSpace(id))] = true
+		}
+	}
+	fmt.Printf("whole-program-paths benchmark harness (scale=%s)\n\n", scale)
+
+	show := func(tbl *experiments.Table, err error) {
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tbl.String())
+	}
+	if want["e1"] {
+		_, tbl, err := experiments.E1(scale)
+		show(tbl, err)
+	}
+	if want["e2"] {
+		_, tbl, err := experiments.E2(scale)
+		show(tbl, err)
+	}
+	if want["e3"] {
+		_, tbl, err := experiments.E3(scale, *reps)
+		show(tbl, err)
+	}
+	if want["e4"] {
+		_, tbl, err := experiments.E4(scale, []string{"compress", "expr", "sim"}, 8)
+		show(tbl, err)
+	}
+	if want["e5"] {
+		// The paper sweeps minimum length and hotness threshold; lengths
+		// beyond 8 add analysis cost quadratically, so the default grid
+		// stops there (pass -exp e5 -scale small for wider sweeps).
+		_, tbl, err := experiments.E5(scale, []int{2, 4, 8}, []float64{0.001, 0.005, 0.01})
+		show(tbl, err)
+	}
+	if want["e6"] {
+		_, tbl, err := experiments.E6(scale, hotpath.Options{MinLen: 4, MaxLen: 16, Threshold: 0.005}, *reps)
+		show(tbl, err)
+	}
+	if want["a1"] {
+		_, tbl, err := experiments.A1(scale, workloads.Names())
+		show(tbl, err)
+	}
+	if want["a2"] {
+		_, tbl, err := experiments.A2(scale, []string{"compress", "lexer", "expr", "sort"})
+		show(tbl, err)
+	}
+	if want["a3"] {
+		_, tbl, err := experiments.A3(scale, []string{"compress", "expr", "sim"}, []uint64{1000, 10000, 100000})
+		show(tbl, err)
+	}
+	if want["a4"] {
+		_, tbl, err := experiments.A4(scale, nil)
+		show(tbl, err)
+	}
+	if want["a5"] {
+		_, tbl, err := experiments.A5(workloads.Names())
+		show(tbl, err)
+	}
+	if want["a6"] {
+		_, tbl, err := experiments.A6(scale, workloads.Names())
+		show(tbl, err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wppbench:", err)
+	os.Exit(1)
+}

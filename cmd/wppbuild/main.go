@@ -1,0 +1,155 @@
+// wppbuild produces a whole-program-path (.wpp) artifact, either by
+// running a program under instrumentation with online compression, or by
+// compressing an existing raw trace written by wpptrace.
+//
+// Usage:
+//
+//	wppbuild -o out.wpp program.wl [arg ...]      # run + compress online
+//	wppbuild -o out.wpp -workload expr -scale medium
+//	wppbuild -o out.wpp -trace trace.wpt          # compress a raw trace
+//
+// Building from a raw trace loses per-path instruction costs (the trace
+// format does not carry them); analyses then weight every path equally.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"repro/internal/experiments"
+	"repro/internal/interp"
+	"repro/internal/trace"
+	"repro/internal/wlc"
+	"repro/internal/workloads"
+	iwpp "repro/internal/wpp"
+)
+
+func main() {
+	out := flag.String("o", "out.wpp", "output WPP file")
+	traceFile := flag.String("trace", "", "build from a raw trace file instead of running a program")
+	workload := flag.String("workload", "", "build from a built-in workload")
+	scaleFlag := flag.String("scale", "small", "workload scale (small|medium|large)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: wppbuild -o out.wpp (program.wl [arg ...] | -workload name [-scale s] | -trace in.wpt)\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var w *iwpp.WPP
+	var err error
+	switch {
+	case *traceFile != "":
+		w, err = fromTrace(*traceFile)
+	case *workload != "":
+		wl, werr := workloads.ByName(*workload)
+		if werr != nil {
+			fatal(werr)
+		}
+		scale, serr := experiments.ParseScale(*scaleFlag)
+		if serr != nil {
+			fatal(serr)
+		}
+		w, err = fromSource(wl.Source, []int64{scale.Arg(wl)})
+	case flag.NArg() >= 1:
+		data, rerr := os.ReadFile(flag.Arg(0))
+		if rerr != nil {
+			fatal(rerr)
+		}
+		var args []int64
+		for _, a := range flag.Args()[1:] {
+			v, perr := strconv.ParseInt(a, 10, 64)
+			if perr != nil {
+				fatal(fmt.Errorf("bad argument %q: %w", a, perr))
+			}
+			args = append(args, v)
+		}
+		w, err = fromSource(string(data), args)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	n, err := w.Encode(f)
+	if err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	st := w.Stats()
+	fmt.Printf("events: %d\nrules: %d\nrhs symbols: %d\nraw trace bytes: %d\nwpp bytes: %d (%.1fx)\n-> %s\n",
+		st.Events, st.Rules, st.RHSSymbols, st.RawTraceBytes, n, float64(st.RawTraceBytes)/float64(n), *out)
+}
+
+func fromSource(source string, args []int64) (*iwpp.WPP, error) {
+	prog, err := wlc.Compile(source)
+	if err != nil {
+		return nil, err
+	}
+	var b *iwpp.Builder
+	m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: func(e trace.Event) { b.Add(e) }})
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(prog.Funcs))
+	for i, fn := range prog.Funcs {
+		names[i] = fn.Name
+	}
+	b = iwpp.NewBuilder(names, m.Numberings())
+	if _, err := m.Run("main", args...); err != nil {
+		return nil, err
+	}
+	return b.Finish(m.Stats().Instructions), nil
+}
+
+func fromTrace(path string) (*iwpp.WPP, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tr, err := trace.NewReader(f)
+	if err != nil {
+		return nil, err
+	}
+	// Function IDs are discovered from the events; names are synthetic.
+	maxFn := uint32(0)
+	b := iwpp.NewBuilder(nil, nil)
+	var events uint64
+	for {
+		e, err := tr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if e.Func() > maxFn {
+			maxFn = e.Func()
+		}
+		b.Add(e)
+		events++
+	}
+	w := b.Finish(events) // cost 1 per event
+	names := make([]iwpp.FuncInfo, maxFn+1)
+	for i := range names {
+		names[i] = iwpp.FuncInfo{Name: fmt.Sprintf("f%d", i)}
+	}
+	w.Funcs = names
+	return w, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wppbuild:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,144 @@
+// wppdiff compares two whole-program-path artifacts and reports the
+// first point where the executions diverge — trace-based regression
+// debugging from the command line (see examples/tracediff for the
+// library-level version).
+//
+// Usage:
+//
+//	wppdiff a.wpp b.wpp
+//
+// Exit status: 0 if the traces are identical, 1 if they differ, 2 on
+// usage or read errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/hotpath"
+	"repro/internal/trace"
+	iwpp "repro/internal/wpp"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print context events around the divergence")
+	spectrum := flag.Bool("spectrum", false, "compare path-frequency spectra instead of event-by-event traces")
+	top := flag.Int("top", 20, "with -spectrum, print at most this many differing paths")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: wppdiff [-v] [-spectrum [-top n]] a.wpp b.wpp\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	a, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	b, err := load(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	if *spectrum {
+		diffSpectra(a, b, *top)
+		return
+	}
+
+	var ea, eb []trace.Event
+	a.Walk(func(e trace.Event) bool { ea = append(ea, e); return true })
+	b.Walk(func(e trace.Event) bool { eb = append(eb, e); return true })
+
+	n := len(ea)
+	if len(eb) < n {
+		n = len(eb)
+	}
+	diverge := -1
+	for i := 0; i < n; i++ {
+		if ea[i] != eb[i] {
+			diverge = i
+			break
+		}
+	}
+	if diverge < 0 && len(ea) == len(eb) {
+		fmt.Printf("identical: %d events\n", len(ea))
+		return
+	}
+	if diverge < 0 {
+		diverge = n
+	}
+	fmt.Printf("traces diverge at event %d of %d/%d\n", diverge, len(ea), len(eb))
+	fmt.Printf("  %s: %s\n", flag.Arg(0), render(a, ea, diverge))
+	fmt.Printf("  %s: %s\n", flag.Arg(1), render(b, eb, diverge))
+	if *verbose {
+		lo := diverge - 5
+		if lo < 0 {
+			lo = 0
+		}
+		fmt.Println("context:")
+		for i := lo; i < diverge; i++ {
+			fmt.Printf("  %6d  %s\n", i, render(a, ea, i))
+		}
+	}
+	os.Exit(1)
+}
+
+// diffSpectra compares path-frequency spectra and exits 1 on difference.
+func diffSpectra(a, b *iwpp.WPP, top int) {
+	d := hotpath.CompareSpectra(a, b)
+	if d.Identical() {
+		fmt.Printf("identical spectra: %d distinct paths\n", d.TotalPaths)
+		return
+	}
+	fmt.Printf("%d of %d distinct paths differ (%d shared)\n", len(d.Entries), d.TotalPaths, d.SharedPaths)
+	for i, e := range d.Entries {
+		if i >= top {
+			fmt.Printf("... %d more\n", len(d.Entries)-i)
+			break
+		}
+		name := fmt.Sprintf("f%d", e.Event.Func())
+		if int(e.Event.Func()) < len(a.Funcs) {
+			name = a.Funcs[e.Event.Func()].Name
+		}
+		tag := ""
+		if e.OnlyA {
+			tag = "  (only in A)"
+		} else if e.OnlyB {
+			tag = "  (only in B)"
+		}
+		fmt.Printf("  %-20s %10d vs %-10d%s\n", fmt.Sprintf("%s:%d", name, e.Event.Path()), e.CountA, e.CountB, tag)
+	}
+	os.Exit(1)
+}
+
+func load(path string) (*iwpp.WPP, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	w, err := iwpp.Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return w, nil
+}
+
+func render(w *iwpp.WPP, events []trace.Event, i int) string {
+	if i >= len(events) {
+		return "<end of trace>"
+	}
+	e := events[i]
+	name := fmt.Sprintf("f%d", e.Func())
+	if int(e.Func()) < len(w.Funcs) {
+		name = w.Funcs[e.Func()].Name
+	}
+	return fmt.Sprintf("%s:%d", name, e.Path())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wppdiff:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,75 @@
+// wpphot reports the minimal hot subpaths of a .wpp artifact, analyzing
+// the compressed grammar directly.
+//
+// Usage:
+//
+//	wpphot [-min 4] [-max 16] [-threshold 0.01] [-top 20] [-scan] file.wpp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/hotpath"
+	iwpp "repro/internal/wpp"
+)
+
+func main() {
+	minLen := flag.Int("min", 4, "minimum subpath length (acyclic paths)")
+	maxLen := flag.Int("max", 16, "maximum subpath length")
+	threshold := flag.Float64("threshold", 0.01, "hotness threshold as a fraction of total cost")
+	top := flag.Int("top", 20, "print at most this many subpaths")
+	scan := flag.Bool("scan", false, "use the decompress-and-scan baseline instead of the grammar analysis")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: wpphot [flags] file.wpp\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	w, err := iwpp.Decode(f)
+	if err != nil {
+		fatal(err)
+	}
+	opts := hotpath.Options{MinLen: *minLen, MaxLen: *maxLen, Threshold: *threshold}
+	find := hotpath.Find
+	if *scan {
+		find = hotpath.FindByScan
+	}
+	subs, err := find(w, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%d minimal hot subpaths (len %d..%d, threshold %.3f, total cost %d)\n",
+		len(subs), *minLen, *maxLen, *threshold, w.Instructions)
+	for i, s := range subs {
+		if i >= *top {
+			fmt.Printf("... %d more\n", len(subs)-i)
+			break
+		}
+		parts := make([]string, len(s.Events))
+		for j, e := range s.Events {
+			name := fmt.Sprintf("f%d", e.Func())
+			if int(e.Func()) < len(w.Funcs) {
+				name = w.Funcs[e.Func()].Name
+			}
+			parts[j] = fmt.Sprintf("%s:%d", name, e.Path())
+		}
+		fmt.Printf("%3d. [%s] x%d cost=%d (%.2f%%)\n", i+1, strings.Join(parts, " "), s.Count, s.Cost, s.Fraction*100)
+	}
+	fmt.Printf("coverage (sum of fractions): %.2f\n", hotpath.Coverage(subs))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wpphot:", err)
+	os.Exit(1)
+}

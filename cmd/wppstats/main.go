@@ -1,0 +1,104 @@
+// wppstats prints size and structure statistics of a .wpp artifact, and
+// optionally dumps a prefix of the expanded trace, the recovered path
+// profile (the paper's point that a WPP subsumes a Ball–Larus profile),
+// or the grammar DAG in Graphviz form.
+//
+// Usage:
+//
+//	wppstats [-dump n] [-profile n] [-funcs] [-dot] file.wpp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/hotpath"
+	"repro/internal/trace"
+	iwpp "repro/internal/wpp"
+)
+
+func main() {
+	dump := flag.Int("dump", 0, "also print the first n trace events")
+	profile := flag.Int("profile", 0, "also print the top n entries of the recovered path profile")
+	funcs := flag.Bool("funcs", false, "also print the per-function cost profile")
+	dot := flag.Bool("dot", false, "print the grammar DAG in Graphviz DOT form and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: wppstats [-dump n] [-profile n] [-funcs] [-dot] file.wpp\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	w, err := iwpp.Decode(f)
+	if err != nil {
+		fatal(err)
+	}
+	if err := w.Verify(); err != nil {
+		fatal(fmt.Errorf("artifact fails verification: %w", err))
+	}
+	name := func(e trace.Event) string {
+		if int(e.Func()) < len(w.Funcs) {
+			return w.Funcs[e.Func()].Name
+		}
+		return fmt.Sprintf("f%d", e.Func())
+	}
+	if *dot {
+		fmt.Print(w.Grammar.Dot(func(v uint64) string {
+			e := trace.Event(v)
+			return fmt.Sprintf("%s:%d", name(e), e.Path())
+		}))
+		return
+	}
+	st := w.Stats()
+	fmt.Printf("functions:      %d\n", len(w.Funcs))
+	fmt.Printf("events:         %d\n", st.Events)
+	fmt.Printf("distinct paths: %d\n", st.DistinctPaths)
+	fmt.Printf("instructions:   %d\n", w.Instructions)
+	fmt.Printf("rules:          %d\n", st.Rules)
+	fmt.Printf("rhs symbols:    %d\n", st.RHSSymbols)
+	fmt.Printf("raw trace:      %d bytes\n", st.RawTraceBytes)
+	fmt.Printf("wpp:            %d bytes (%.1fx)\n", st.EncodedBytes, float64(st.RawTraceBytes)/float64(st.EncodedBytes))
+	fmt.Printf("grammar only:   %d bytes\n", st.GrammarBytes)
+	if *dump > 0 {
+		fmt.Println("trace prefix:")
+		n := 0
+		w.Walk(func(e trace.Event) bool {
+			fmt.Printf("  %6d  %s:%d\n", n, name(e), e.Path())
+			n++
+			return n < *dump
+		})
+	}
+	if *profile > 0 {
+		fmt.Println("path profile (recovered from the compressed trace):")
+		for i, p := range hotpath.PathProfile(w) {
+			if i >= *profile {
+				break
+			}
+			fmt.Printf("  %-20s x%-10d cost=%-12d %6.2f%%\n",
+				fmt.Sprintf("%s:%d", name(p.Event), p.Event.Path()), p.Count, p.Cost, p.Fraction*100)
+		}
+	}
+	if *funcs {
+		fmt.Println("function profile:")
+		for _, fp := range hotpath.FuncProfile(w) {
+			fname := fmt.Sprintf("f%d", fp.Func)
+			if int(fp.Func) < len(w.Funcs) {
+				fname = w.Funcs[fp.Func].Name
+			}
+			fmt.Printf("  %-16s events=%-10d cost=%-12d %6.2f%%\n", fname, fp.Events, fp.Cost, fp.Fraction*100)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wppstats:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,105 @@
+// wpptrace runs a WL program under Ball–Larus path instrumentation and
+// writes the raw (uncompressed) acyclic-path trace, the explicit
+// representation the WPP replaces.
+//
+// Usage:
+//
+//	wpptrace -o trace.wpt [-workload name -scale small|medium|large] [program.wl [arg ...]]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/experiments"
+	"repro/internal/interp"
+	"repro/internal/trace"
+	"repro/internal/wlc"
+	"repro/internal/workloads"
+)
+
+func main() {
+	out := flag.String("o", "trace.wpt", "output trace file")
+	workload := flag.String("workload", "", "trace a built-in workload instead of a source file")
+	scaleFlag := flag.String("scale", "small", "workload scale (small|medium|large)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: wpptrace -o out.wpt (program.wl [arg ...] | -workload name [-scale s])\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var source string
+	var args []int64
+	switch {
+	case *workload != "":
+		w, err := workloads.ByName(*workload)
+		if err != nil {
+			fatal(err)
+		}
+		scale, err := experiments.ParseScale(*scaleFlag)
+		if err != nil {
+			fatal(err)
+		}
+		source = w.Source
+		args = []int64{scale.Arg(w)}
+	case flag.NArg() >= 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		source = string(data)
+		for _, a := range flag.Args()[1:] {
+			v, err := strconv.ParseInt(a, 10, 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad argument %q: %w", a, err))
+			}
+			args = append(args, v)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	prog, err := wlc.Compile(source)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tw, err := trace.NewWriter(f)
+	if err != nil {
+		fatal(err)
+	}
+	var sinkErr error
+	m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: func(e trace.Event) {
+		if err := tw.Write(e); err != nil && sinkErr == nil {
+			sinkErr = err
+		}
+	}})
+	if err != nil {
+		fatal(err)
+	}
+	res, err := m.Run("main", args...)
+	if err != nil {
+		fatal(err)
+	}
+	if sinkErr != nil {
+		fatal(sinkErr)
+	}
+	if err := tw.Flush(); err != nil {
+		fatal(err)
+	}
+	st := m.Stats()
+	fmt.Printf("result: %d\nevents: %d\ninstructions: %d\ntrace bytes: %d -> %s\n",
+		res, st.Events, st.Instructions, tw.BytesWritten(), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wpptrace:", err)
+	os.Exit(1)
+}

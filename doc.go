@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of James R. Larus,
+// "Whole Program Paths" (PLDI 1999): complete control-flow traces of
+// whole executions, expressed as Ball–Larus acyclic-path IDs, compressed
+// online with SEQUITUR into an analyzable context-free grammar, plus the
+// paper's minimal-hot-subpath analysis that runs on the compressed form.
+//
+// The public API lives in repro/wpp; see README.md for the architecture
+// and DESIGN.md for the paper-to-code mapping. Benchmarks in this package
+// (bench_test.go) regenerate every table and figure of the evaluation.
+package repro

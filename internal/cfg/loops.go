@@ -1,0 +1,115 @@
+package cfg
+
+import "sort"
+
+// Loop is a natural loop: the target of one or more back edges (the
+// header) plus every block that can reach a back-edge source without
+// passing through the header. Back edges sharing a header are merged into
+// one loop, the usual convention.
+type Loop struct {
+	Header    BlockID
+	BackEdges []Edge
+	// Blocks lists the loop's blocks in ascending ID order, header
+	// included.
+	Blocks []BlockID
+	// Parent is the index (into the Loops result) of the innermost
+	// enclosing loop, or -1 for a top-level loop.
+	Parent int
+	// Depth is the nesting depth; top-level loops have depth 1.
+	Depth int
+}
+
+// Contains reports whether b belongs to the loop.
+func (l *Loop) Contains(b BlockID) bool {
+	i := sort.Search(len(l.Blocks), func(i int) bool { return l.Blocks[i] >= b })
+	return i < len(l.Blocks) && l.Blocks[i] == b
+}
+
+// Loops computes the natural loops of a reducible graph, sorted by header
+// ID. It returns an error for irreducible graphs (same condition as
+// BackEdges).
+func (g *Graph) Loops() ([]Loop, error) {
+	back, err := g.BackEdges()
+	if err != nil {
+		return nil, err
+	}
+	byHeader := map[BlockID][]Edge{}
+	for _, e := range back {
+		byHeader[e.To] = append(byHeader[e.To], e)
+	}
+	headers := make([]BlockID, 0, len(byHeader))
+	for h := range byHeader {
+		headers = append(headers, h)
+	}
+	sort.Slice(headers, func(i, j int) bool { return headers[i] < headers[j] })
+
+	loops := make([]Loop, 0, len(headers))
+	for _, h := range headers {
+		in := map[BlockID]bool{h: true}
+		var stack []BlockID
+		for _, e := range byHeader[h] {
+			if !in[e.From] {
+				in[e.From] = true
+				stack = append(stack, e.From)
+			}
+		}
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, p := range g.Block(b).Preds {
+				if !in[p] {
+					in[p] = true
+					stack = append(stack, p)
+				}
+			}
+		}
+		blocks := make([]BlockID, 0, len(in))
+		for b := range in {
+			blocks = append(blocks, b)
+		}
+		sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+		loops = append(loops, Loop{Header: h, BackEdges: byHeader[h], Blocks: blocks, Parent: -1})
+	}
+
+	// Nesting: in a reducible graph, two natural loops are either
+	// disjoint or one contains the other; the innermost enclosing loop of
+	// L is the smallest other loop containing L's header.
+	for i := range loops {
+		best := -1
+		for j := range loops {
+			if i == j {
+				continue
+			}
+			if loops[j].Contains(loops[i].Header) && loops[j].Header != loops[i].Header {
+				if best == -1 || len(loops[j].Blocks) < len(loops[best].Blocks) {
+					best = j
+				}
+			}
+		}
+		loops[i].Parent = best
+	}
+	for i := range loops {
+		d := 1
+		for p := loops[i].Parent; p != -1; p = loops[p].Parent {
+			d++
+		}
+		loops[i].Depth = d
+	}
+	return loops, nil
+}
+
+// LoopDepths returns, for every block, the number of natural loops
+// containing it (0 for straight-line code).
+func (g *Graph) LoopDepths() ([]int, error) {
+	loops, err := g.Loops()
+	if err != nil {
+		return nil, err
+	}
+	depth := make([]int, g.NumBlocks())
+	for i := range loops {
+		for _, b := range loops[i].Blocks {
+			depth[b]++
+		}
+	}
+	return depth, nil
+}

@@ -1,0 +1,164 @@
+package cfg
+
+import "testing"
+
+func TestLoopsNone(t *testing.T) {
+	g := buildDiamond(t)
+	loops, err := g.Loops()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loops) != 0 {
+		t.Fatalf("diamond has %d loops", len(loops))
+	}
+	depths, err := g.LoopDepths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, d := range depths {
+		if d != 0 {
+			t.Fatalf("block %d has depth %d", b, d)
+		}
+	}
+}
+
+func TestLoopsSimple(t *testing.T) {
+	g := buildLoop(t) // 0 -> 1; 1 -> 2,3; 2 -> 1
+	loops, err := g.Loops()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loops) != 1 {
+		t.Fatalf("%d loops, want 1", len(loops))
+	}
+	l := loops[0]
+	if l.Header != 1 || l.Depth != 1 || l.Parent != -1 {
+		t.Fatalf("loop %+v", l)
+	}
+	if len(l.Blocks) != 2 || !l.Contains(1) || !l.Contains(2) || l.Contains(0) || l.Contains(3) {
+		t.Fatalf("loop blocks %v", l.Blocks)
+	}
+}
+
+func TestLoopsNested(t *testing.T) {
+	// 0 -> 1; 1 -> 2; 2 -> 3; 3 -> 2 (inner), 3 -> 4; 4 -> 1 (outer), 4 -> 5.
+	g := New("nested")
+	for i := 0; i < 6; i++ {
+		g.NewBlock("b")
+	}
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 2, 3)
+	mustEdge(t, g, 3, 2)
+	mustEdge(t, g, 3, 4)
+	mustEdge(t, g, 4, 1)
+	mustEdge(t, g, 4, 5)
+	g.SetEntry(0)
+	g.SetExit(5)
+	if err := g.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	loops, err := g.Loops()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loops) != 2 {
+		t.Fatalf("%d loops, want 2", len(loops))
+	}
+	outer, inner := loops[0], loops[1] // sorted by header: 1 then 2
+	if outer.Header != 1 || inner.Header != 2 {
+		t.Fatalf("headers %d, %d", outer.Header, inner.Header)
+	}
+	if outer.Depth != 1 || inner.Depth != 2 {
+		t.Fatalf("depths %d, %d", outer.Depth, inner.Depth)
+	}
+	if inner.Parent != 0 || outer.Parent != -1 {
+		t.Fatalf("parents %d, %d", inner.Parent, outer.Parent)
+	}
+	depths, err := g.LoopDepths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 2, 1, 0}
+	for b, d := range want {
+		if depths[b] != d {
+			t.Fatalf("depths = %v, want %v", depths, want)
+		}
+	}
+}
+
+func TestLoopsSharedHeaderMerged(t *testing.T) {
+	// Two back edges into the same header: one loop.
+	g := New("shared")
+	for i := 0; i < 5; i++ {
+		g.NewBlock("b")
+	}
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 1, 3)
+	mustEdge(t, g, 2, 1)
+	mustEdge(t, g, 3, 1)
+	mustEdge(t, g, 1, 4)
+	g.SetEntry(0)
+	g.SetExit(4)
+	if err := g.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	loops, err := g.Loops()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loops) != 1 {
+		t.Fatalf("%d loops, want 1 (merged)", len(loops))
+	}
+	if len(loops[0].BackEdges) != 2 {
+		t.Fatalf("merged loop has %d back edges", len(loops[0].BackEdges))
+	}
+	if len(loops[0].Blocks) != 3 {
+		t.Fatalf("blocks %v", loops[0].Blocks)
+	}
+}
+
+func TestLoopsIrreducibleRejected(t *testing.T) {
+	g := New("irr")
+	for i := 0; i < 5; i++ {
+		g.NewBlock("b")
+	}
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 0, 2)
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 2, 1)
+	mustEdge(t, g, 1, 3)
+	mustEdge(t, g, 2, 4)
+	mustEdge(t, g, 4, 3)
+	g.SetEntry(0)
+	g.SetExit(3)
+	if err := g.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Loops(); err == nil {
+		t.Fatal("irreducible accepted")
+	}
+}
+
+func TestLoopsSelfLoop(t *testing.T) {
+	g := New("self")
+	g.NewBlock("entry")
+	g.NewBlock("loop")
+	g.NewBlock("exit")
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 1)
+	mustEdge(t, g, 1, 2)
+	g.SetEntry(0)
+	g.SetExit(2)
+	if err := g.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	loops, err := g.Loops()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loops) != 1 || len(loops[0].Blocks) != 1 || loops[0].Header != 1 {
+		t.Fatalf("self loop: %+v", loops)
+	}
+}

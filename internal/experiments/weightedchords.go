@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bl"
+	"repro/internal/cfg"
+	"repro/internal/interp"
+	"repro/internal/wlc"
+	"repro/internal/workloads"
+)
+
+// A6Row reports the dynamic instrumentation cost of the three placements
+// for one workload, evaluated on a profiled run.
+type A6Row struct {
+	Name string
+	// EveryEdge is the increment count of the naive placement (one per
+	// taken edge); Unweighted and Weighted are the chord placements with
+	// an arbitrary and a frequency-maximal spanning tree respectively.
+	EveryEdge, Unweighted, Weighted uint64
+	// UnweightedFrac and WeightedFrac are the two chord placements'
+	// increment counts relative to EveryEdge.
+	UnweightedFrac, WeightedFrac float64
+}
+
+// A6 completes the Ball–Larus placement story: profile a run's edge
+// frequencies (via the interpreter's edge hook), then compare the dynamic
+// increment counts of every-edge, unweighted-chord, and profile-weighted-
+// chord instrumentation. All three emit identical path IDs; only the work
+// per edge differs.
+func A6(scale Scale, names []string) ([]A6Row, *Table, error) {
+	var rows []A6Row
+	tbl := &Table{
+		ID:     "A6",
+		Title:  "ablation: dynamic increments under every-edge vs chord vs profile-weighted chord placement",
+		Header: []string{"workload", "every-edge", "chords", "weighted chords", "chords/every", "weighted/every"},
+		Notes:  []string{"increment counts over a full profiled run; all placements emit identical path IDs"},
+	}
+	for _, name := range names {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		prog, err := wlc.Compile(w.Source)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Profile edge frequencies with the interpreter's edge hook.
+		profiles := make([]*bl.EdgeWeights, len(prog.Funcs))
+		for i, f := range prog.Funcs {
+			profiles[i] = bl.NewEdgeWeights(f.Graph)
+		}
+		m, err := interp.New(prog, interp.Config{EdgeSink: func(fn uint32, from cfg.BlockID, succIdx int) {
+			profiles[fn].Real[from][succIdx]++
+		}})
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := m.Run("main", scale.Arg(w)); err != nil {
+			return nil, nil, err
+		}
+
+		var r A6Row
+		r.Name = w.Name
+		for i, f := range prog.Funcs {
+			num, err := bl.Number(f.Graph)
+			if err != nil {
+				return nil, nil, err
+			}
+			r.EveryEdge += bl.TotalEdgeExecutions(profiles[i])
+			r.Unweighted += bl.BuildChords(num).DynamicIncrements(profiles[i])
+			r.Weighted += bl.BuildChordsWeighted(num, profiles[i]).DynamicIncrements(profiles[i])
+		}
+		r.UnweightedFrac = float64(r.Unweighted) / float64(r.EveryEdge)
+		r.WeightedFrac = float64(r.Weighted) / float64(r.EveryEdge)
+		rows = append(rows, r)
+		tbl.Rows = append(tbl.Rows, []string{
+			r.Name, fmt.Sprint(r.EveryEdge), fmt.Sprint(r.Unweighted), fmt.Sprint(r.Weighted),
+			fmt.Sprintf("%.2f", r.UnweightedFrac), fmt.Sprintf("%.2f", r.WeightedFrac),
+		})
+	}
+	return rows, tbl, nil
+}

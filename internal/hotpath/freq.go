@@ -1,0 +1,99 @@
+package hotpath
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+	"repro/internal/wpp"
+)
+
+// EventFrequencies returns the execution count of every distinct acyclic
+// path event, computed from the grammar without decompressing the trace:
+// each terminal occurrence in a rule body contributes the rule's
+// derivation-tree use count.
+func EventFrequencies(w *wpp.WPP) map[trace.Event]uint64 {
+	a := newAnalysis(w)
+	freqs := make(map[trace.Event]uint64)
+	for r, rhs := range a.snap.Rules {
+		uses := a.uses[r]
+		for _, s := range rhs {
+			if !s.IsRule() {
+				freqs[trace.Event(s.Value)] += uses
+			}
+		}
+	}
+	return freqs
+}
+
+// PathProfileEntry is one row of a classic Ball–Larus path profile,
+// recovered from the compressed trace.
+type PathProfileEntry struct {
+	Event trace.Event
+	Count uint64
+	// Cost is Count times the path's instruction count.
+	Cost uint64
+	// Fraction is Cost over total executed instructions.
+	Fraction float64
+}
+
+// PathProfile recovers the classic path profile (path → frequency,
+// weighted by cost) from the WPP, sorted hottest first. This is the
+// paper's observation that a WPP subsumes a path profile: the aggregate
+// view falls out of the complete trace.
+func PathProfile(w *wpp.WPP) []PathProfileEntry {
+	freqs := EventFrequencies(w)
+	entries := make([]PathProfileEntry, 0, len(freqs))
+	total := w.Instructions
+	for e, n := range freqs {
+		cost := n * w.PathCost(e)
+		var frac float64
+		if total > 0 {
+			frac = float64(cost) / float64(total)
+		}
+		entries = append(entries, PathProfileEntry{Event: e, Count: n, Cost: cost, Fraction: frac})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Cost != entries[j].Cost {
+			return entries[i].Cost > entries[j].Cost
+		}
+		return entries[i].Event < entries[j].Event
+	})
+	return entries
+}
+
+// FuncProfileEntry aggregates a path profile to function granularity.
+type FuncProfileEntry struct {
+	Func     uint32
+	Events   uint64
+	Cost     uint64
+	Fraction float64
+}
+
+// FuncProfile attributes execution cost to functions, recovered entirely
+// from the compressed trace.
+func FuncProfile(w *wpp.WPP) []FuncProfileEntry {
+	byFunc := map[uint32]*FuncProfileEntry{}
+	for e, n := range EventFrequencies(w) {
+		fe := byFunc[e.Func()]
+		if fe == nil {
+			fe = &FuncProfileEntry{Func: e.Func()}
+			byFunc[e.Func()] = fe
+		}
+		fe.Events += n
+		fe.Cost += n * w.PathCost(e)
+	}
+	out := make([]FuncProfileEntry, 0, len(byFunc))
+	for _, fe := range byFunc {
+		if w.Instructions > 0 {
+			fe.Fraction = float64(fe.Cost) / float64(w.Instructions)
+		}
+		out = append(out, *fe)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cost != out[j].Cost {
+			return out[i].Cost > out[j].Cost
+		}
+		return out[i].Func < out[j].Func
+	})
+	return out
+}

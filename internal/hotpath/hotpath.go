@@ -1,0 +1,363 @@
+// Package hotpath finds minimal hot subpaths in a whole program path, the
+// flagship analysis of Larus's PLDI 1999 paper: sequences of at least L
+// consecutive acyclic paths whose aggregate cost (occurrences times
+// instructions per occurrence) meets a threshold fraction of the whole
+// execution, where no shorter contained subpath is itself hot.
+//
+// The analysis runs directly on the SEQUITUR grammar, without
+// decompressing the trace. Every window of the expanded trace either
+// crosses a boundary between two right-hand-side symbols of exactly one
+// lowest rule, or lies entirely within one nonterminal's expansion and is
+// attributed recursively; so enumerating, for each rule, the windows that
+// cross its RHS boundaries — weighted by how often the rule occurs in the
+// derivation — counts every trace window exactly once. FindByScan is the
+// paper's strawman alternative (decompress and slide a window); it
+// produces identical results and serves as both the E6 baseline and a
+// correctness oracle in tests.
+package hotpath
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/sequitur"
+	"repro/internal/trace"
+	"repro/internal/wpp"
+)
+
+// Options selects what counts as a hot subpath.
+type Options struct {
+	// MinLen and MaxLen bound the subpath length in acyclic paths
+	// (events). MinLen >= 1; MaxLen >= MinLen.
+	MinLen, MaxLen int
+	// Threshold is the fraction of the execution's total instruction
+	// count a subpath's aggregate cost must reach to be hot, e.g. 0.01
+	// for 1%.
+	Threshold float64
+}
+
+func (o Options) validate() error {
+	if o.MinLen < 1 {
+		return fmt.Errorf("hotpath: MinLen %d < 1", o.MinLen)
+	}
+	if o.MaxLen < o.MinLen {
+		return fmt.Errorf("hotpath: MaxLen %d < MinLen %d", o.MaxLen, o.MinLen)
+	}
+	if o.Threshold <= 0 || o.Threshold > 1 {
+		return fmt.Errorf("hotpath: Threshold %v outside (0,1]", o.Threshold)
+	}
+	return nil
+}
+
+// Subpath is one discovered hot subpath.
+type Subpath struct {
+	// Events is the sequence of acyclic path events.
+	Events []trace.Event
+	// Count is the number of (possibly overlapping) occurrences in the
+	// trace.
+	Count uint64
+	// Cost is Count times the instruction cost of one occurrence.
+	Cost uint64
+	// Fraction is Cost over the execution's total instruction count.
+	Fraction float64
+}
+
+// Find locates all minimal hot subpaths by analyzing the grammar in
+// compressed form.
+func Find(w *wpp.WPP, opts Options) ([]Subpath, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	a := newAnalysis(w)
+	counts := make(map[string]uint64)
+	hot := map[string]bool{}
+	var result []Subpath
+	for l := opts.MinLen; l <= opts.MaxLen; l++ {
+		clear(counts)
+		a.countWindows(l, counts)
+		result = a.harvest(counts, l, opts, hot, result)
+	}
+	sortSubpaths(result)
+	return result, nil
+}
+
+// FindByScan locates the same minimal hot subpaths by decompressing the
+// trace and sliding a window over it.
+func FindByScan(w *wpp.WPP, opts Options) ([]Subpath, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	var events []trace.Event
+	w.Walk(func(e trace.Event) bool { events = append(events, e); return true })
+	a := newAnalysis(w)
+	counts := make(map[string]uint64)
+	hot := map[string]bool{}
+	var result []Subpath
+	key := make([]byte, 0, opts.MaxLen*8)
+	for l := opts.MinLen; l <= opts.MaxLen; l++ {
+		clear(counts)
+		for i := 0; i+l <= len(events); i++ {
+			key = key[:0]
+			for _, e := range events[i : i+l] {
+				key = binary.BigEndian.AppendUint64(key, uint64(e))
+			}
+			counts[string(key)]++
+		}
+		result = a.harvest(counts, l, opts, hot, result)
+	}
+	sortSubpaths(result)
+	return result, nil
+}
+
+// analysis caches per-WPP derived data shared by window counting.
+type analysis struct {
+	w       *wpp.WPP
+	snap    *sequitur.Snapshot
+	expLen  []uint64   // expansion length per rule
+	uses    []uint64   // occurrences of each rule in the derivation tree
+	cumLens [][]uint64 // per rule: cumulative expansion length after each RHS symbol
+}
+
+func newAnalysis(w *wpp.WPP) *analysis {
+	a := &analysis{w: w, snap: w.Grammar}
+	n := len(a.snap.Rules)
+	a.expLen = a.snap.ExpandedLen()
+	a.uses = make([]uint64, n)
+	if n > 0 {
+		a.uses[0] = 1
+		for _, r := range a.topoOrder() {
+			for _, s := range a.snap.Rules[r] {
+				if s.IsRule() {
+					a.uses[s.Rule] += a.uses[r]
+				}
+			}
+		}
+	}
+	a.cumLens = make([][]uint64, n)
+	for i, rhs := range a.snap.Rules {
+		cum := make([]uint64, len(rhs)+1)
+		for j, s := range rhs {
+			if s.IsRule() {
+				cum[j+1] = cum[j] + a.expLen[s.Rule]
+			} else {
+				cum[j+1] = cum[j] + 1
+			}
+		}
+		a.cumLens[i] = cum
+	}
+	return a
+}
+
+// topoOrder returns rule indices with every parent before its children.
+func (a *analysis) topoOrder() []int32 {
+	n := len(a.snap.Rules)
+	state := make([]int8, n)
+	order := make([]int32, 0, n)
+	var visit func(int32)
+	visit = func(r int32) {
+		if state[r] != 0 {
+			return
+		}
+		state[r] = 1
+		for _, s := range a.snap.Rules[r] {
+			if s.IsRule() {
+				visit(s.Rule)
+			}
+		}
+		order = append(order, r)
+	}
+	visit(0)
+	// Reverse postorder = parents first.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// collect appends the terminals of rule r's expansion in [start,
+// start+length) to out.
+func (a *analysis) collect(r int32, start, length uint64, out []uint64) []uint64 {
+	rhs := a.snap.Rules[r]
+	cum := a.cumLens[r]
+	// Binary search for the first RHS symbol whose span contains start.
+	j := sort.Search(len(rhs), func(j int) bool { return cum[j+1] > start })
+	for ; length > 0 && j < len(rhs); j++ {
+		s := rhs[j]
+		if !s.IsRule() {
+			out = append(out, s.Value)
+			length--
+			start = cum[j+1]
+			continue
+		}
+		childStart := start - cum[j]
+		avail := a.expLen[s.Rule] - childStart
+		take := length
+		if take > avail {
+			take = avail
+		}
+		out = a.collect(s.Rule, childStart, take, out)
+		length -= take
+		start = cum[j+1]
+	}
+	return out
+}
+
+// countWindows accumulates, for every distinct window of length l in the
+// expanded trace, its total occurrence count. Keys are big-endian byte
+// strings of the window's events.
+func (a *analysis) countWindows(l int, counts map[string]uint64) {
+	if len(a.snap.Rules) == 0 {
+		return
+	}
+	if l == 1 {
+		// Single-event windows never cross boundaries; count terminals
+		// directly.
+		var key [8]byte
+		for r, rhs := range a.snap.Rules {
+			for _, s := range rhs {
+				if !s.IsRule() {
+					binary.BigEndian.PutUint64(key[:], s.Value)
+					counts[string(key[:])] += a.uses[r]
+				}
+			}
+		}
+		return
+	}
+	L := uint64(l)
+	var terms []uint64
+	key := make([]byte, 0, l*8)
+	for r := range a.snap.Rules {
+		if a.uses[r] == 0 {
+			continue
+		}
+		cum := a.cumLens[r]
+		total := cum[len(cum)-1]
+		if total < L {
+			continue
+		}
+		ruleUses := a.uses[r]
+		maxStart := total - L
+		// Enumerate window start offsets that cross at least one boundary
+		// between RHS symbols, merged into maximal runs [lo, hi) so each
+		// run's terminals are materialized once and the window slides.
+		next := uint64(0)
+		runLo, runHi := uint64(0), uint64(0)
+		haveRun := false
+		flush := func() {
+			if !haveRun {
+				return
+			}
+			terms = a.collect(int32(r), runLo, runHi-1+L-runLo, terms[:0])
+			for o := runLo; o < runHi; o++ {
+				key = key[:0]
+				for _, v := range terms[o-runLo : o-runLo+L] {
+					key = binary.BigEndian.AppendUint64(key, v)
+				}
+				counts[string(key)] += ruleUses
+			}
+			haveRun = false
+		}
+		for b := 1; b < len(cum)-1; b++ {
+			p := cum[b]
+			lo := uint64(0)
+			if p >= L {
+				lo = p - L + 1
+			}
+			if lo < next {
+				lo = next
+			}
+			hi := p // window must start strictly before the boundary
+			if hi > maxStart+1 {
+				hi = maxStart + 1
+			}
+			if lo >= hi {
+				continue
+			}
+			if haveRun && lo <= runHi {
+				runHi = hi
+			} else {
+				flush()
+				runLo, runHi, haveRun = lo, hi, true
+			}
+			next = hi
+		}
+		flush()
+	}
+}
+
+// harvest converts this length's window counts into subpaths, marks hot
+// windows, and appends the minimal ones to result.
+func (a *analysis) harvest(counts map[string]uint64, l int, opts Options, hot map[string]bool, result []Subpath) []Subpath {
+	total := a.w.Instructions
+	if total == 0 {
+		return result
+	}
+	for key, count := range counts {
+		events := decodeKey(key)
+		var unit uint64
+		for _, e := range events {
+			unit += a.w.PathCost(e)
+		}
+		cost := unit * count
+		frac := float64(cost) / float64(total)
+		if frac < opts.Threshold {
+			continue
+		}
+		hot[key] = true
+		if containsHotSub(key, l, opts.MinLen, hot) {
+			continue
+		}
+		result = append(result, Subpath{Events: events, Count: count, Cost: cost, Fraction: frac})
+	}
+	return result
+}
+
+// containsHotSub reports whether any proper contiguous subwindow of key
+// (of length >= minLen) is already hot.
+func containsHotSub(key string, l, minLen int, hot map[string]bool) bool {
+	for sub := minLen; sub < l; sub++ {
+		for off := 0; off+sub <= l; off++ {
+			if hot[key[off*8:(off+sub)*8]] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func decodeKey(key string) []trace.Event {
+	events := make([]trace.Event, len(key)/8)
+	for i := range events {
+		events[i] = trace.Event(binary.BigEndian.Uint64([]byte(key[i*8 : (i+1)*8])))
+	}
+	return events
+}
+
+func sortSubpaths(s []Subpath) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Cost != s[j].Cost {
+			return s[i].Cost > s[j].Cost
+		}
+		if len(s[i].Events) != len(s[j].Events) {
+			return len(s[i].Events) < len(s[j].Events)
+		}
+		for k := range s[i].Events {
+			if s[i].Events[k] != s[j].Events[k] {
+				return s[i].Events[k] < s[j].Events[k]
+			}
+		}
+		return false
+	})
+}
+
+// Coverage sums the cost fractions of the given subpaths. Overlapping
+// occurrences can push the sum past 1; callers typically report
+// min(sum, 1).
+func Coverage(subpaths []Subpath) float64 {
+	var sum float64
+	for _, s := range subpaths {
+		sum += s.Fraction
+	}
+	return sum
+}

@@ -1,0 +1,408 @@
+// Package interp executes compiled WL programs (package wlc), optionally
+// under Ball–Larus path instrumentation. It plays the role of the paper's
+// instrumented SPARC binaries: the same execution can run untraced (the
+// baseline), with block tracing (the naive alphabet the paper improves
+// on), or with path tracing (the whole-program-path event stream).
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/bl"
+	"repro/internal/cfg"
+	"repro/internal/trace"
+	"repro/internal/wl"
+	"repro/internal/wlc"
+)
+
+// Mode selects what an execution records.
+type Mode int
+
+const (
+	// NoTrace runs the program with no instrumentation.
+	NoTrace Mode = iota
+	// BlockTrace emits one event per basic block executed, encoded as
+	// (funcID, blockID). It is the naive control-flow trace baseline.
+	BlockTrace
+	// PathTrace emits one event per completed Ball–Larus acyclic path,
+	// encoded as (funcID, pathID). This is the WPP event stream.
+	PathTrace
+)
+
+// Config controls an execution.
+type Config struct {
+	Mode Mode
+	// Sink receives every trace event. Required for BlockTrace/PathTrace.
+	Sink func(trace.Event)
+	// EdgeSink, when set, observes every CFG edge taken: function ID,
+	// source block, and the successor index within the source block. It
+	// feeds edge-frequency profiles (e.g. for profile-guided
+	// instrumentation placement) and works in any Mode.
+	EdgeSink func(fn uint32, from cfg.BlockID, succIdx int)
+	// Stdout receives print output; io.Discard if nil.
+	Stdout io.Writer
+	// MaxInstrs aborts the run after this many IR instructions; 0 means
+	// no limit.
+	MaxInstrs uint64
+}
+
+// Stats summarizes an execution.
+type Stats struct {
+	// Instructions is the number of IR instructions executed, counting
+	// one per block entry for the terminator.
+	Instructions uint64
+	// Events is the number of trace events emitted.
+	Events uint64
+	// Calls is the number of function calls executed.
+	Calls uint64
+	// BlocksExecuted is the number of basic-block entries.
+	BlocksExecuted uint64
+	// FuncInstrs attributes Instructions to functions, indexed by
+	// function ID. It is the ground truth the WPP-recovered function
+	// profile (hotpath.FuncProfile) is validated against.
+	FuncInstrs []uint64
+}
+
+// RuntimeError is an execution-time failure with source context.
+type RuntimeError struct {
+	Func string
+	Pos  wl.Pos
+	Msg  string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("runtime error in %s at %s: %s", e.Func, e.Pos, e.Msg)
+}
+
+// ErrInstrLimit is wrapped by the error returned when MaxInstrs is hit.
+var ErrInstrLimit = errors.New("instruction limit exceeded")
+
+// Value is a WL runtime value: a scalar or an array. Arr non-nil means
+// array.
+type Value struct {
+	I   int64
+	Arr []int64
+}
+
+// edgePlan is the per-successor instrumentation derived from bl.Numbering.
+type edgePlan struct {
+	add     uint64
+	back    bool
+	emitAdd uint64
+	reset   uint64
+}
+
+// Machine executes a compiled program. A Machine is not safe for
+// concurrent use.
+type Machine struct {
+	prog  *wlc.Program
+	cfg   Config
+	plans [][][]edgePlan // [func][block][succIdx]
+	nums  []*bl.Numbering
+	stats Stats
+}
+
+// New prepares a machine. For PathTrace mode it computes the Ball–Larus
+// numbering of every function, which fails if any function is irreducible
+// or has too many acyclic paths.
+func New(p *wlc.Program, config Config) (*Machine, error) {
+	if config.Stdout == nil {
+		config.Stdout = io.Discard
+	}
+	if config.Mode != NoTrace && config.Sink == nil {
+		return nil, fmt.Errorf("interp: trace mode %d requires a Sink", config.Mode)
+	}
+	m := &Machine{prog: p, cfg: config}
+	m.stats.FuncInstrs = make([]uint64, len(p.Funcs))
+	if config.Mode == PathTrace {
+		if len(p.Funcs) > trace.MaxFuncs {
+			return nil, fmt.Errorf("interp: %d functions exceed trace limit", len(p.Funcs))
+		}
+		m.nums = make([]*bl.Numbering, len(p.Funcs))
+		m.plans = make([][][]edgePlan, len(p.Funcs))
+		for i, f := range p.Funcs {
+			num, err := bl.Number(f.Graph)
+			if err != nil {
+				return nil, fmt.Errorf("interp: %w", err)
+			}
+			if num.NumPaths >= 1<<trace.PathBits {
+				return nil, fmt.Errorf("interp: %s: %d paths exceed event encoding", f.Name, num.NumPaths)
+			}
+			m.nums[i] = num
+			plan := make([][]edgePlan, f.Graph.NumBlocks())
+			for _, b := range f.Graph.Blocks() {
+				eps := make([]edgePlan, len(b.Succs))
+				for si, succ := range b.Succs {
+					if num.IsBack[b.ID][si] {
+						instr := num.BackEdge[cfg.Edge{From: b.ID, To: succ}]
+						eps[si] = edgePlan{back: true, emitAdd: instr.EmitAdd, reset: instr.Reset}
+					} else {
+						eps[si] = edgePlan{add: num.EdgeVal[b.ID][si]}
+					}
+				}
+				plan[b.ID] = eps
+			}
+			m.plans[i] = plan
+		}
+	}
+	return m, nil
+}
+
+// Numbering exposes the Ball–Larus numbering of function fn (PathTrace
+// machines only), which analyses use to map path IDs back to blocks.
+func (m *Machine) Numbering(fn uint32) *bl.Numbering { return m.nums[fn] }
+
+// Numberings returns the numbering of every function, indexed by function
+// ID.
+func (m *Machine) Numberings() []*bl.Numbering { return m.nums }
+
+// Stats returns the statistics accumulated so far.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// Run executes the named function with scalar arguments and returns its
+// result.
+func (m *Machine) Run(entry string, args ...int64) (int64, error) {
+	f, ok := m.prog.ByName[entry]
+	if !ok {
+		return 0, fmt.Errorf("interp: no function %s", entry)
+	}
+	if len(args) != f.Params {
+		return 0, fmt.Errorf("interp: %s takes %d argument(s), got %d", entry, f.Params, len(args))
+	}
+	vals := make([]Value, len(args))
+	for i, a := range args {
+		vals[i] = Value{I: a}
+	}
+	res, err := m.call(f, vals)
+	if err != nil {
+		return 0, err
+	}
+	return res.I, nil
+}
+
+func (m *Machine) rtErr(f *wlc.Func, pos wl.Pos, format string, args ...any) error {
+	return &RuntimeError{Func: f.Name, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (m *Machine) call(f *wlc.Func, args []Value) (Value, error) {
+	m.stats.Calls++
+	regs := make([]Value, f.NumRegs)
+	copy(regs[1:], args)
+
+	g := f.Graph
+	cur := g.Entry
+	pathReg := uint64(0)
+	for {
+		blk := g.Block(cur)
+		m.stats.Instructions += uint64(blk.Weight)
+		m.stats.FuncInstrs[f.ID] += uint64(blk.Weight)
+		m.stats.BlocksExecuted++
+		if m.cfg.MaxInstrs > 0 && m.stats.Instructions > m.cfg.MaxInstrs {
+			return Value{}, fmt.Errorf("interp: %s: %w", f.Name, ErrInstrLimit)
+		}
+		if m.cfg.Mode == BlockTrace {
+			m.stats.Events++
+			m.cfg.Sink(trace.MakeEvent(uint32(f.ID), uint64(cur)))
+		}
+		for i := range f.Code[cur] {
+			in := &f.Code[cur][i]
+			if err := m.exec(f, regs, in); err != nil {
+				return Value{}, err
+			}
+		}
+		t := f.Terms[cur]
+		var si int
+		switch t.Kind {
+		case TermJumpKind:
+			si = 0
+		case TermBranchKind:
+			if truthy(regs[t.Cond]) {
+				si = 0
+			} else {
+				si = 1
+			}
+		case TermExitKind:
+			if m.cfg.Mode == PathTrace {
+				m.stats.Events++
+				m.cfg.Sink(trace.MakeEvent(uint32(f.ID), pathReg))
+			}
+			return regs[0], nil
+		}
+		next := blk.Succs[si]
+		if m.cfg.EdgeSink != nil {
+			m.cfg.EdgeSink(uint32(f.ID), cur, si)
+		}
+		if m.cfg.Mode == PathTrace {
+			ep := m.plans[f.ID][cur][si]
+			if ep.back {
+				m.stats.Events++
+				m.cfg.Sink(trace.MakeEvent(uint32(f.ID), pathReg+ep.emitAdd))
+				pathReg = ep.reset
+			} else {
+				pathReg += ep.add
+			}
+		}
+		cur = next
+	}
+}
+
+// Terminator kinds re-exported locally to keep the hot switch compact.
+const (
+	TermJumpKind   = wlc.TermJump
+	TermBranchKind = wlc.TermBranch
+	TermExitKind   = wlc.TermExit
+)
+
+func truthy(v Value) bool {
+	if v.Arr != nil {
+		return true
+	}
+	return v.I != 0
+}
+
+func (m *Machine) exec(f *wlc.Func, regs []Value, in *wlc.Instr) error {
+	switch in.Op {
+	case wlc.OpConst:
+		regs[in.Dst] = Value{I: in.Imm}
+	case wlc.OpMov:
+		regs[in.Dst] = regs[in.A]
+	case wlc.OpBin:
+		a, b := regs[in.A], regs[in.B]
+		if a.Arr != nil || b.Arr != nil {
+			return m.rtErr(f, in.Pos, "arithmetic on array value")
+		}
+		v, err := evalBin(in.BinOp, a.I, b.I)
+		if err != nil {
+			return m.rtErr(f, in.Pos, "%v", err)
+		}
+		regs[in.Dst] = Value{I: v}
+	case wlc.OpNot:
+		if truthy(regs[in.A]) {
+			regs[in.Dst] = Value{I: 0}
+		} else {
+			regs[in.Dst] = Value{I: 1}
+		}
+	case wlc.OpNeg:
+		a := regs[in.A]
+		if a.Arr != nil {
+			return m.rtErr(f, in.Pos, "negation of array value")
+		}
+		regs[in.Dst] = Value{I: -a.I}
+	case wlc.OpNewArr:
+		n := regs[in.A]
+		if n.Arr != nil {
+			return m.rtErr(f, in.Pos, "array length is an array")
+		}
+		if n.I < 0 || n.I > 1<<30 {
+			return m.rtErr(f, in.Pos, "array length %d out of range", n.I)
+		}
+		regs[in.Dst] = Value{Arr: make([]int64, n.I)}
+	case wlc.OpLen:
+		a := regs[in.A]
+		if a.Arr == nil {
+			return m.rtErr(f, in.Pos, "len of non-array")
+		}
+		regs[in.Dst] = Value{I: int64(len(a.Arr))}
+	case wlc.OpLoad:
+		a, idx := regs[in.A], regs[in.B]
+		if a.Arr == nil {
+			return m.rtErr(f, in.Pos, "indexing non-array")
+		}
+		if idx.Arr != nil || idx.I < 0 || idx.I >= int64(len(a.Arr)) {
+			return m.rtErr(f, in.Pos, "index %d out of range [0,%d)", idx.I, len(a.Arr))
+		}
+		regs[in.Dst] = Value{I: a.Arr[idx.I]}
+	case wlc.OpStore:
+		a, idx, v := regs[in.A], regs[in.B], regs[in.Dst]
+		if a.Arr == nil {
+			return m.rtErr(f, in.Pos, "indexing non-array")
+		}
+		if idx.Arr != nil || idx.I < 0 || idx.I >= int64(len(a.Arr)) {
+			return m.rtErr(f, in.Pos, "index %d out of range [0,%d)", idx.I, len(a.Arr))
+		}
+		if v.Arr != nil {
+			return m.rtErr(f, in.Pos, "storing array into array element")
+		}
+		a.Arr[idx.I] = v.I
+	case wlc.OpCall:
+		callee := m.prog.Funcs[in.Fn]
+		args := make([]Value, len(in.Args))
+		for i, r := range in.Args {
+			args[i] = regs[r]
+		}
+		res, err := m.call(callee, args)
+		if err != nil {
+			return err
+		}
+		regs[in.Dst] = res
+	case wlc.OpPrint:
+		for i, r := range in.Args {
+			if i > 0 {
+				fmt.Fprint(m.cfg.Stdout, " ")
+			}
+			v := regs[r]
+			if v.Arr != nil {
+				fmt.Fprintf(m.cfg.Stdout, "%v", v.Arr)
+			} else {
+				fmt.Fprintf(m.cfg.Stdout, "%d", v.I)
+			}
+		}
+		fmt.Fprintln(m.cfg.Stdout)
+	default:
+		return m.rtErr(f, in.Pos, "unknown opcode %d", in.Op)
+	}
+	return nil
+}
+
+func evalBin(op wl.Kind, a, b int64) (int64, error) {
+	switch op {
+	case wl.Add:
+		return a + b, nil
+	case wl.Sub:
+		return a - b, nil
+	case wl.Mul:
+		return a * b, nil
+	case wl.Div:
+		if b == 0 {
+			return 0, errors.New("division by zero")
+		}
+		return a / b, nil
+	case wl.Rem:
+		if b == 0 {
+			return 0, errors.New("remainder by zero")
+		}
+		return a % b, nil
+	case wl.Lt:
+		return b2i(a < b), nil
+	case wl.Le:
+		return b2i(a <= b), nil
+	case wl.Gt:
+		return b2i(a > b), nil
+	case wl.Ge:
+		return b2i(a >= b), nil
+	case wl.Eq:
+		return b2i(a == b), nil
+	case wl.Ne:
+		return b2i(a != b), nil
+	case wl.And:
+		return a & b, nil
+	case wl.Or:
+		return a | b, nil
+	case wl.Xor:
+		return a ^ b, nil
+	case wl.Shl:
+		return a << (uint64(b) & 63), nil
+	case wl.Shr:
+		return int64(uint64(a) >> (uint64(b) & 63)), nil
+	}
+	return 0, fmt.Errorf("unknown operator %s", op)
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

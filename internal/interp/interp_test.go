@@ -1,0 +1,434 @@
+package interp
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/trace"
+	"repro/internal/wlc"
+)
+
+func run(t *testing.T, src string, args ...int64) int64 {
+	t.Helper()
+	p, err := wlc.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run("main", args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func runErr(t *testing.T, src string, args ...int64) error {
+	t.Helper()
+	p, err := wlc.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Run("main", args...)
+	if err == nil {
+		t.Fatal("expected runtime error")
+	}
+	return err
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"func main() { return 2 + 3 * 4; }", 14},
+		{"func main() { return (2 + 3) * 4; }", 20},
+		{"func main() { return 10 / 3; }", 3},
+		{"func main() { return 10 % 3; }", 1},
+		{"func main() { return 0 - 7; }", -7},
+		{"func main() { return -7 % 3; }", -1},
+		{"func main() { return 1 << 10; }", 1024},
+		{"func main() { return 1024 >> 3; }", 128},
+		{"func main() { return (0 - 1) >> 1; }", int64(^uint64(0) >> 1)}, // logical shift
+		{"func main() { return 12 & 10; }", 8},
+		{"func main() { return 12 | 10; }", 14},
+		{"func main() { return 12 ^ 10; }", 6},
+		{"func main() { return 3 < 4; }", 1},
+		{"func main() { return 4 <= 3; }", 0},
+		{"func main() { return 4 > 3; }", 1},
+		{"func main() { return 3 >= 4; }", 0},
+		{"func main() { return 3 == 3; }", 1},
+		{"func main() { return 3 != 3; }", 0},
+		{"func main() { return !5; }", 0},
+		{"func main() { return !0; }", 1},
+		{"func main() { return 1 && 2; }", 1},
+		{"func main() { return 1 && 0; }", 0},
+		{"func main() { return 0 || 0; }", 0},
+		{"func main() { return 0 || 9; }", 1},
+	}
+	for _, c := range cases {
+		if got := run(t, c.src); got != c.want {
+			t.Errorf("%s = %d, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+func TestControlFlowPrograms(t *testing.T) {
+	fib := `
+func main(n) {
+    if n < 2 { return n; }
+    var a = 0;
+    var b = 1;
+    var i = 2;
+    while i <= n {
+        var c = a + b;
+        a = b;
+        b = c;
+        i = i + 1;
+    }
+    return b;
+}`
+	if got := run(t, fib, 20); got != 6765 {
+		t.Fatalf("fib(20) = %d", got)
+	}
+
+	gcd := `
+func main(a, b) {
+    while b != 0 {
+        var tmp = a % b;
+        a = b;
+        b = tmp;
+    }
+    return a;
+}`
+	if got := run(t, gcd, 1071, 462); got != 21 {
+		t.Fatalf("gcd = %d", got)
+	}
+
+	collatz := `
+func main(n) {
+    var steps = 0;
+    while n != 1 {
+        if n % 2 == 0 { n = n / 2; } else { n = 3 * n + 1; }
+        steps = steps + 1;
+    }
+    return steps;
+}`
+	if got := run(t, collatz, 27); got != 111 {
+		t.Fatalf("collatz(27) = %d", got)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	fact := `
+func fact(n) {
+    if n <= 1 { return 1; }
+    return n * fact(n - 1);
+}
+func main(n) { return fact(n); }`
+	if got := run(t, fact, 10); got != 3628800 {
+		t.Fatalf("fact(10) = %d", got)
+	}
+
+	ack := `
+func ack(m, n) {
+    if m == 0 { return n + 1; }
+    if n == 0 { return ack(m - 1, 1); }
+    return ack(m - 1, ack(m, n - 1));
+}
+func main() { return ack(2, 3); }`
+	if got := run(t, ack); got != 9 {
+		t.Fatalf("ack(2,3) = %d", got)
+	}
+}
+
+func TestArrays(t *testing.T) {
+	src := `
+func main(n) {
+    var a = array(n);
+    var i = 0;
+    while i < n { a[i] = i * i; i = i + 1; }
+    var s = 0;
+    i = 0;
+    while i < len(a) { s = s + a[i]; i = i + 1; }
+    return s;
+}`
+	if got := run(t, src, 10); got != 285 {
+		t.Fatalf("sum of squares = %d", got)
+	}
+}
+
+func TestArraysPassedByReference(t *testing.T) {
+	src := `
+func fill(a, v) {
+    var i = 0;
+    while i < len(a) { a[i] = v; i = i + 1; }
+    return 0;
+}
+func main() {
+    var a = array(5);
+    fill(a, 7);
+    return a[0] + a[4];
+}`
+	if got := run(t, src); got != 14 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestShortCircuitSkipsSideEffects(t *testing.T) {
+	src := `
+func touch(a) { a[0] = a[0] + 1; return 1; }
+func main() {
+    var a = array(1);
+    var x = 0 && touch(a);
+    var y = 1 || touch(a);
+    var z = 1 && touch(a);
+    return a[0] * 100 + x * 10 + y + z;
+}`
+	// touch runs exactly once (for z): a[0]=1, x=0, y=1, z=1.
+	if got := run(t, src); got != 102 {
+		t.Fatalf("got %d, want 102", got)
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	src := `
+func main(n) {
+    var s = 0;
+    var i = 0;
+    while 1 {
+        i = i + 1;
+        if i > n { break; }
+        if i % 2 == 0 { continue; }
+        s = s + i;
+    }
+    return s;
+}`
+	if got := run(t, src, 10); got != 25 {
+		t.Fatalf("sum of odds = %d", got)
+	}
+}
+
+func TestPrint(t *testing.T) {
+	p, err := wlc.Compile(`func main() { print 1, 2 + 3; print 42; return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	m, err := New(p, Config{Stdout: &out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); got != "1 5\n42\n" {
+		t.Fatalf("print output %q", got)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+		sub       string
+	}{
+		{"div0", "func main() { return 1 / 0; }", "division by zero"},
+		{"rem0", "func main() { return 1 % 0; }", "remainder by zero"},
+		{"oob", "func main() { var a = array(2); return a[5]; }", "out of range"},
+		{"oob-neg", "func main() { var a = array(2); return a[0-1]; }", "out of range"},
+		{"oob-store", "func main() { var a = array(2); a[2] = 1; return 0; }", "out of range"},
+		{"index-scalar", "func main() { var x = 3; return x[0]; }", "non-array"},
+		{"len-scalar", "func main() { return len(3); }", "non-array"},
+		{"neg-len", "func main() { var a = array(0-1); return 0; }", "out of range"},
+		{"arith-array", "func main() { var a = array(1); return a + 1; }", "array"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := runErr(t, c.src)
+			if !strings.Contains(err.Error(), c.sub) {
+				t.Fatalf("error %q does not contain %q", err, c.sub)
+			}
+			var re *RuntimeError
+			if !errors.As(err, &re) {
+				t.Fatalf("error %T is not a RuntimeError", err)
+			}
+		})
+	}
+}
+
+func TestInstrLimit(t *testing.T) {
+	p, err := wlc.Compile("func main() { var i = 0; while i >= 0 { i = i + 1; } return i; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(p, Config{MaxInstrs: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Run("main")
+	if !errors.Is(err, ErrInstrLimit) {
+		t.Fatalf("got %v, want ErrInstrLimit", err)
+	}
+}
+
+func TestRunArgValidation(t *testing.T) {
+	p, err := wlc.Compile("func main(a) { return a; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run("nope"); err == nil {
+		t.Fatal("unknown entry accepted")
+	}
+	if _, err := m.Run("main"); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+}
+
+func TestTraceModeRequiresSink(t *testing.T) {
+	p, err := wlc.Compile("func main() { return 0; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(p, Config{Mode: PathTrace}); err == nil {
+		t.Fatal("PathTrace without sink accepted")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	p, err := wlc.Compile(`
+func twice(x) { return x + x; }
+func main() { return twice(1) + twice(2); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Calls != 3 {
+		t.Fatalf("Calls = %d, want 3", st.Calls)
+	}
+	if st.Instructions == 0 || st.BlocksExecuted == 0 {
+		t.Fatalf("zero counters: %+v", st)
+	}
+}
+
+const crossValidationSrc = `
+func classify(x) {
+    if x % 15 == 0 { return 3; }
+    if x % 3 == 0 { return 1; }
+    if x % 5 == 0 { return 2; }
+    return 0;
+}
+func main(n) {
+    var counts = array(4);
+    var i = 1;
+    while i <= n {
+        var c = classify(i);
+        counts[c] = counts[c] + 1;
+        i = i + 1;
+    }
+    return counts[0] + 10 * counts[1] + 100 * counts[2] + 1000 * counts[3];
+}`
+
+// TestPathTraceMatchesBlockTrace is the pipeline's keystone property: for
+// a non-recursive program, regenerating every function's path events must
+// reproduce exactly the block sequence that a block-traced run observed.
+func TestPathTraceMatchesBlockTrace(t *testing.T) {
+	p, err := wlc.Compile(crossValidationSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var blocks []trace.Event
+	mb, err := New(p, Config{Mode: BlockTrace, Sink: func(e trace.Event) { blocks = append(blocks, e) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := mb.Run("main", 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var paths []trace.Event
+	mp, err := New(p, Config{Mode: PathTrace, Sink: func(e trace.Event) { paths = append(paths, e) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resP, err := mp.Run("main", 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resB != resP {
+		t.Fatalf("results differ under tracing: %d vs %d", resB, resP)
+	}
+
+	// Per function: concatenation of regenerated paths == block sequence.
+	perFuncBlocks := map[uint32][]cfg.BlockID{}
+	for _, e := range blocks {
+		perFuncBlocks[e.Func()] = append(perFuncBlocks[e.Func()], cfg.BlockID(e.Path()))
+	}
+	perFuncRegen := map[uint32][]cfg.BlockID{}
+	for _, e := range paths {
+		num := mp.Numbering(e.Func())
+		seq, err := num.Regenerate(e.Path())
+		if err != nil {
+			t.Fatalf("regenerating %v: %v", e, err)
+		}
+		perFuncRegen[e.Func()] = append(perFuncRegen[e.Func()], seq...)
+	}
+	for fn, want := range perFuncBlocks {
+		if !reflect.DeepEqual(perFuncRegen[fn], want) {
+			t.Fatalf("function %d (%s): regenerated blocks differ\n got=%v\nwant=%v",
+				fn, p.Funcs[fn].Name, perFuncRegen[fn], want)
+		}
+	}
+	if len(paths) >= len(blocks) {
+		t.Fatalf("path trace (%d events) should be shorter than block trace (%d)", len(paths), len(blocks))
+	}
+}
+
+func TestTracingDoesNotChangeSemantics(t *testing.T) {
+	srcs := []string{
+		crossValidationSrc,
+		"func main(n) { var s = 0; var i = 0; while i < n { s = s + i; i = i + 1; } return s; }",
+	}
+	for _, src := range srcs {
+		p, err := wlc.Compile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := run(t, src, 17)
+		for _, mode := range []Mode{BlockTrace, PathTrace} {
+			m, err := New(p, Config{Mode: mode, Sink: func(trace.Event) {}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := m.Run("main", 17)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("mode %d: got %d, want %d", mode, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package sequitur
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary layout of an encoded Snapshot (all integers unsigned varints):
+//
+//	magic "SQG1" (4 bytes)
+//	numRules
+//	for each rule: rhsLen, then rhsLen symbols
+//
+// A symbol is a single varint: terminals encode as value<<1, rule
+// references as ruleIndex<<1|1. Terminal values are < MaxTerminal = 2^62,
+// so the shift cannot overflow.
+
+var magic = [4]byte{'S', 'Q', 'G', '1'}
+
+// Encode writes the snapshot to w and returns the number of bytes written.
+func (sn *Snapshot) Encode(w io.Writer) (int64, error) {
+	cw := &countWriter{w: bufio.NewWriter(w)}
+	if _, err := cw.Write(magic[:]); err != nil {
+		return cw.n, err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := cw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(sn.Rules))); err != nil {
+		return cw.n, err
+	}
+	for _, rhs := range sn.Rules {
+		if err := putUvarint(uint64(len(rhs))); err != nil {
+			return cw.n, err
+		}
+		for _, s := range rhs {
+			var v uint64
+			if s.IsRule() {
+				v = uint64(s.Rule)<<1 | 1
+			} else {
+				v = s.Value << 1
+			}
+			if err := putUvarint(v); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	return cw.n, cw.w.(*bufio.Writer).Flush()
+}
+
+// EncodedSize returns the number of bytes Encode would write.
+func (sn *Snapshot) EncodedSize() int64 {
+	n := int64(len(magic))
+	n += int64(uvarintLen(uint64(len(sn.Rules))))
+	for _, rhs := range sn.Rules {
+		n += int64(uvarintLen(uint64(len(rhs))))
+		for _, s := range rhs {
+			if s.IsRule() {
+				n += int64(uvarintLen(uint64(s.Rule)<<1 | 1))
+			} else {
+				n += int64(uvarintLen(s.Value << 1))
+			}
+		}
+	}
+	return n
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// Decode reads a snapshot written by Encode.
+func Decode(r io.Reader) (*Snapshot, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("sequitur: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("sequitur: bad magic %q", m[:])
+	}
+	numRules, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("sequitur: reading rule count: %w", err)
+	}
+	const maxRules = 1 << 31
+	if numRules > maxRules {
+		return nil, fmt.Errorf("sequitur: implausible rule count %d", numRules)
+	}
+	sn := &Snapshot{Rules: make([][]Sym, numRules)}
+	for i := range sn.Rules {
+		rhsLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("sequitur: rule %d: reading length: %w", i, err)
+		}
+		rhs := make([]Sym, rhsLen)
+		for j := range rhs {
+			v, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("sequitur: rule %d sym %d: %w", i, j, err)
+			}
+			if v&1 == 1 {
+				ri := v >> 1
+				if ri >= numRules {
+					return nil, fmt.Errorf("sequitur: rule %d sym %d: rule reference %d out of range", i, j, ri)
+				}
+				rhs[j] = Sym{Rule: int32(ri)}
+			} else {
+				rhs[j] = Sym{Rule: -1, Value: v >> 1}
+			}
+		}
+		sn.Rules[i] = rhs
+	}
+	return sn, nil
+}
+
+// Validate checks that the snapshot is well formed and acyclic: every rule
+// reference is in range, no rule (except possibly the start rule) is
+// empty, and the reference graph has no cycles (a cyclic grammar would
+// expand forever).
+func (sn *Snapshot) Validate() error {
+	if len(sn.Rules) == 0 {
+		return fmt.Errorf("sequitur: snapshot has no rules")
+	}
+	state := make([]int8, len(sn.Rules)) // 0 unvisited, 1 in progress, 2 done
+	var visit func(int) error
+	visit = func(i int) error {
+		switch state[i] {
+		case 1:
+			return fmt.Errorf("sequitur: rule %d participates in a cycle", i)
+		case 2:
+			return nil
+		}
+		state[i] = 1
+		for _, s := range sn.Rules[i] {
+			if s.IsRule() {
+				if int(s.Rule) >= len(sn.Rules) {
+					return fmt.Errorf("sequitur: rule %d references out-of-range rule %d", i, s.Rule)
+				}
+				if err := visit(int(s.Rule)); err != nil {
+					return err
+				}
+			}
+		}
+		state[i] = 2
+		return nil
+	}
+	for i := range sn.Rules {
+		if i > 0 && len(sn.Rules[i]) < 2 {
+			return fmt.Errorf("sequitur: rule %d has %d symbols (min 2)", i, len(sn.Rules[i]))
+		}
+		if err := visit(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExpandedLen returns the length of the full expansion of each rule.
+func (sn *Snapshot) ExpandedLen() []uint64 {
+	lens := make([]uint64, len(sn.Rules))
+	done := make([]bool, len(sn.Rules))
+	var visit func(int) uint64
+	visit = func(i int) uint64 {
+		if done[i] {
+			return lens[i]
+		}
+		var n uint64
+		for _, s := range sn.Rules[i] {
+			if s.IsRule() {
+				n += visit(int(s.Rule))
+			} else {
+				n++
+			}
+		}
+		lens[i] = n
+		done[i] = true
+		return n
+	}
+	for i := range sn.Rules {
+		visit(i)
+	}
+	return lens
+}
+
+// Dot renders the snapshot's rule DAG in Graphviz syntax. label renders
+// terminal values; nil uses decimal.
+func (sn *Snapshot) Dot(label func(uint64) string) string {
+	if label == nil {
+		label = func(v uint64) string { return fmt.Sprintf("%d", v) }
+	}
+	var sb bytes.Buffer
+	sb.WriteString("digraph wpp_grammar {\n  rankdir=TB;\n")
+	for i, rhs := range sn.Rules {
+		var body bytes.Buffer
+		for j, s := range rhs {
+			if j > 0 {
+				body.WriteByte(' ')
+			}
+			if s.IsRule() {
+				fmt.Fprintf(&body, "R%d", s.Rule)
+			} else {
+				body.WriteString(label(s.Value))
+			}
+		}
+		name := fmt.Sprintf("R%d", i)
+		if i == 0 {
+			name = "S"
+		}
+		fmt.Fprintf(&sb, "  r%d [shape=box label=%q];\n", i, fmt.Sprintf("%s -> %s", name, body.String()))
+		seen := map[int32]bool{}
+		for _, s := range rhs {
+			if s.IsRule() && !seen[s.Rule] {
+				seen[s.Rule] = true
+				fmt.Fprintf(&sb, "  r%d -> r%d;\n", i, s.Rule)
+			}
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// countWriter counts bytes written through it.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,220 @@
+// Package trace defines the path-event stream that flows from an
+// instrumented execution into the whole-program-path builder, together
+// with its on-disk encodings and the DEFLATE compression baseline the
+// evaluation compares against.
+//
+// An Event identifies one completed Ball–Larus acyclic path: which
+// function it belongs to and the path ID within that function. Events pack
+// into a single uint64 so they can be fed to SEQUITUR directly as terminal
+// symbols.
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// PathBits is the number of low bits of an Event holding the path ID.
+const PathBits = 40
+
+// MaxFuncs bounds function IDs so that packed events stay below
+// sequitur.MaxTerminal.
+const MaxFuncs = 1 << 21
+
+// Event is a packed (function, path) pair: funcID<<PathBits | pathID.
+type Event uint64
+
+// MakeEvent packs a function ID and path ID. It panics if either is out of
+// range; callers validate sizes when numbering functions.
+func MakeEvent(fn uint32, path uint64) Event {
+	if fn >= MaxFuncs {
+		panic(fmt.Sprintf("trace: function ID %d out of range", fn))
+	}
+	if path >= 1<<PathBits {
+		panic(fmt.Sprintf("trace: path ID %d out of range", path))
+	}
+	return Event(uint64(fn)<<PathBits | path)
+}
+
+// Func returns the function ID of the event.
+func (e Event) Func() uint32 { return uint32(e >> PathBits) }
+
+// Path returns the path ID of the event.
+func (e Event) Path() uint64 { return uint64(e) & (1<<PathBits - 1) }
+
+func (e Event) String() string { return fmt.Sprintf("f%d:p%d", e.Func(), e.Path()) }
+
+// Buffer is an in-memory event stream. The zero value is ready to use.
+type Buffer struct {
+	Events []Event
+}
+
+// Add appends an event.
+func (b *Buffer) Add(e Event) { b.Events = append(b.Events, e) }
+
+// Len reports the number of events.
+func (b *Buffer) Len() int { return len(b.Events) }
+
+// Writer streams events to an io.Writer in the raw uncompressed trace
+// format: a 4-byte magic followed by one uvarint per event. This is the
+// "explicit trace" whose size the paper's Table 1 reports.
+type Writer struct {
+	bw     *bufio.Writer
+	n      int64
+	events uint64
+	buf    [binary.MaxVarintLen64]byte
+}
+
+var traceMagic = [4]byte{'W', 'P', 'T', '1'}
+
+// NewWriter returns a trace writer over w.
+func NewWriter(w io.Writer) (*Writer, error) {
+	tw := &Writer{bw: bufio.NewWriter(w)}
+	n, err := tw.bw.Write(traceMagic[:])
+	tw.n = int64(n)
+	return tw, err
+}
+
+// Write appends one event.
+func (w *Writer) Write(e Event) error {
+	n := binary.PutUvarint(w.buf[:], uint64(e))
+	wrote, err := w.bw.Write(w.buf[:n])
+	w.n += int64(wrote)
+	w.events++
+	return err
+}
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// BytesWritten reports the bytes produced so far (pre-Flush bytes
+// included).
+func (w *Writer) BytesWritten() int64 { return w.n }
+
+// Events reports the number of events written.
+func (w *Writer) Events() uint64 { return w.events }
+
+// Reader reads a stream produced by Writer.
+type Reader struct {
+	br *bufio.Reader
+}
+
+// NewReader validates the magic and returns a reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", m[:])
+	}
+	return &Reader{br: br}, nil
+}
+
+// Read returns the next event, or io.EOF at the end of the stream.
+func (r *Reader) Read() (Event, error) {
+	v, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		if err == io.EOF {
+			return 0, io.EOF
+		}
+		return 0, fmt.Errorf("trace: %w", err)
+	}
+	return Event(v), nil
+}
+
+// EncodedSize returns the raw trace size in bytes for the given events,
+// without materializing the encoding.
+func EncodedSize(events []Event) int64 {
+	n := int64(len(traceMagic))
+	for _, e := range events {
+		v := uint64(e)
+		n++
+		for v >= 0x80 {
+			v >>= 7
+			n++
+		}
+	}
+	return n
+}
+
+// FixedSize returns the size of the naive fixed-width encoding (8 bytes
+// per event), the figure a tool that dumps raw words would produce.
+func FixedSize(events []Event) int64 { return int64(len(events)) * 8 }
+
+// DeflateSize compresses the varint encoding of events with DEFLATE at the
+// given level (flate.BestCompression for the paper's gzip baseline) and
+// returns the compressed size in bytes.
+func DeflateSize(events []Event, level int) (int64, error) {
+	var cw countingDiscard
+	fw, err := flate.NewWriter(&cw, level)
+	if err != nil {
+		return 0, err
+	}
+	bw := bufio.NewWriter(fw)
+	var buf [binary.MaxVarintLen64]byte
+	for _, e := range events {
+		n := binary.PutUvarint(buf[:], uint64(e))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return 0, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, err
+	}
+	if err := fw.Close(); err != nil {
+		return 0, err
+	}
+	return cw.n, nil
+}
+
+// Deflate compresses the varint encoding of events and returns the bytes,
+// for callers that need the actual artifact rather than just its size.
+func Deflate(events []Event, level int) ([]byte, error) {
+	var out bytes.Buffer
+	fw, err := flate.NewWriter(&out, level)
+	if err != nil {
+		return nil, err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	for _, e := range events {
+		n := binary.PutUvarint(buf[:], uint64(e))
+		if _, err := fw.Write(buf[:n]); err != nil {
+			return nil, err
+		}
+	}
+	if err := fw.Close(); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+// Inflate decompresses data produced by Deflate back into events.
+func Inflate(data []byte) ([]Event, error) {
+	fr := flate.NewReader(bytes.NewReader(data))
+	defer fr.Close()
+	br := bufio.NewReader(fr)
+	var events []Event
+	for {
+		v, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			return events, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: inflate: %w", err)
+		}
+		events = append(events, Event(v))
+	}
+}
+
+type countingDiscard struct{ n int64 }
+
+func (c *countingDiscard) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}

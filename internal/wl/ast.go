@@ -1,0 +1,161 @@
+package wl
+
+// File is a parsed WL source file.
+type File struct {
+	Funcs []*FuncDecl
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Params []string
+	Body   *BlockStmt
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmt() }
+
+// BlockStmt is a braced statement list.
+type BlockStmt struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// VarStmt declares a local variable with an initializer.
+type VarStmt struct {
+	Pos  Pos
+	Name string
+	Init Expr
+}
+
+// AssignStmt assigns to a variable or an array element.
+type AssignStmt struct {
+	Pos   Pos
+	Name  string
+	Index Expr // nil for scalar assignment
+	Value Expr
+}
+
+// IfStmt is if/else; Else is nil, a *BlockStmt, or another *IfStmt.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body *BlockStmt
+}
+
+// ForStmt is a C-style for loop. Init may be nil, a *VarStmt, or an
+// *AssignStmt; Cond may be nil (always true); Post may be nil or an
+// *AssignStmt. A continue inside Body transfers to Post.
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body *BlockStmt
+}
+
+// ReturnStmt returns from the enclosing function. Value may be nil.
+type ReturnStmt struct {
+	Pos   Pos
+	Value Expr
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt restarts the innermost loop.
+type ContinueStmt struct{ Pos Pos }
+
+// PrintStmt prints its arguments as integers separated by spaces.
+type PrintStmt struct {
+	Pos  Pos
+	Args []Expr
+}
+
+// ExprStmt evaluates an expression for its side effects (calls).
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+func (*BlockStmt) stmt()    {}
+func (*VarStmt) stmt()      {}
+func (*AssignStmt) stmt()   {}
+func (*IfStmt) stmt()       {}
+func (*WhileStmt) stmt()    {}
+func (*ForStmt) stmt()      {}
+func (*ReturnStmt) stmt()   {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+func (*PrintStmt) stmt()    {}
+func (*ExprStmt) stmt()     {}
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	expr()
+	Position() Pos
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Pos Pos
+	Val int64
+}
+
+// Ident is a variable reference.
+type Ident struct {
+	Pos  Pos
+	Name string
+}
+
+// IndexExpr is a[x], where a must name a variable.
+type IndexExpr struct {
+	Pos   Pos
+	Name  string
+	Index Expr
+}
+
+// CallExpr is a function or builtin call. Builtins are "array" and "len".
+type CallExpr struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+// UnaryExpr is !x or -x; Op is Not or Sub.
+type UnaryExpr struct {
+	Pos Pos
+	Op  Kind
+	X   Expr
+}
+
+// BinaryExpr is x op y; Op is an operator token kind. AndAnd and OrOr
+// short-circuit.
+type BinaryExpr struct {
+	Pos  Pos
+	Op   Kind
+	X, Y Expr
+}
+
+func (*IntLit) expr()     {}
+func (*Ident) expr()      {}
+func (*IndexExpr) expr()  {}
+func (*CallExpr) expr()   {}
+func (*UnaryExpr) expr()  {}
+func (*BinaryExpr) expr() {}
+
+func (e *IntLit) Position() Pos     { return e.Pos }
+func (e *Ident) Position() Pos      { return e.Pos }
+func (e *IndexExpr) Position() Pos  { return e.Pos }
+func (e *CallExpr) Position() Pos   { return e.Pos }
+func (e *UnaryExpr) Position() Pos  { return e.Pos }
+func (e *BinaryExpr) Position() Pos { return e.Pos }

@@ -1,0 +1,47 @@
+package wl
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the front end never panics or hangs: any input either
+// parses (and then formats + reparses to the same structure) or returns a
+// positioned error.
+func FuzzParse(f *testing.F) {
+	f.Add("func main() { return 0; }")
+	f.Add(goodProgram)
+	f.Add("func f(a,b){var x=a*b; while x>0 { x=x-1; if x%2==0 { continue; } } return x;}func main(){return f(3,4);}")
+	f.Add("func main() { for var i = 0; i < 3; i = i + 1 { print i; } return 0; }")
+	f.Add("((((((((")
+	f.Add("func main() { return " + strings.Repeat("(", 600) + "1" + strings.Repeat(")", 600) + "; }")
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Anything that parses must format and reparse cleanly.
+		formatted := Format(file)
+		if _, err := Parse(formatted); err != nil {
+			t.Fatalf("formatted output does not reparse: %v\ninput: %q\nformatted:\n%s", err, src, formatted)
+		}
+		// Check may reject (semantic errors are fine); it must not panic.
+		_ = Check(file)
+	})
+}
+
+func TestDeepNestingRejected(t *testing.T) {
+	deep := "func main() { return " + strings.Repeat("(", 2000) + "1" + strings.Repeat(")", 2000) + "; }"
+	if _, err := Parse(deep); err == nil {
+		t.Fatal("2000-deep nesting accepted")
+	}
+	deepStmt := "func main() { " + strings.Repeat("if 1 { ", 2000) + strings.Repeat("} ", 2000) + "return 0; }"
+	if _, err := Parse(deepStmt); err == nil {
+		t.Fatal("2000-deep statements accepted")
+	}
+	// Moderate nesting still works.
+	ok := "func main() { return " + strings.Repeat("(", 100) + "1" + strings.Repeat(")", 100) + "; }"
+	if _, err := Parse(ok); err != nil {
+		t.Fatalf("100-deep nesting rejected: %v", err)
+	}
+}

@@ -1,0 +1,555 @@
+package wl
+
+// Parser is a recursive-descent parser for WL with precedence climbing for
+// expressions.
+type Parser struct {
+	lex   *Lexer
+	tok   Token
+	err   error
+	depth int
+}
+
+// maxDepth bounds statement/expression nesting so hostile input cannot
+// exhaust the goroutine stack.
+const maxDepth = 512
+
+func (p *Parser) enter() error {
+	p.depth++
+	if p.depth > maxDepth {
+		return errf(p.tok.Pos, "nesting deeper than %d levels", maxDepth)
+	}
+	return nil
+}
+
+func (p *Parser) leave() { p.depth-- }
+
+// Parse parses a complete WL source file.
+func Parse(src string) (*File, error) {
+	p := &Parser{lex: NewLexer(src)}
+	p.next()
+	if p.err != nil {
+		return nil, p.err
+	}
+	f := &File{}
+	for p.tok.Kind != EOF {
+		fn, err := p.parseFunc()
+		if err != nil {
+			return nil, err
+		}
+		f.Funcs = append(f.Funcs, fn)
+	}
+	return f, nil
+}
+
+func (p *Parser) next() {
+	if p.err != nil {
+		return
+	}
+	t, err := p.lex.Next()
+	if err != nil {
+		p.err = err
+		p.tok = Token{Kind: EOF}
+		return
+	}
+	p.tok = t
+}
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	if p.err != nil {
+		return Token{}, p.err
+	}
+	if p.tok.Kind != k {
+		return Token{}, errf(p.tok.Pos, "expected %s, found %s", k, p.tok)
+	}
+	t := p.tok
+	p.next()
+	if p.err != nil {
+		return Token{}, p.err
+	}
+	return t, nil
+}
+
+func (p *Parser) parseFunc() (*FuncDecl, error) {
+	kw, err := p.expect(KwFunc)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	var params []string
+	if p.tok.Kind != RParen {
+		for {
+			id, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			params = append(params, id.Text)
+			if p.tok.Kind != Comma {
+				break
+			}
+			p.next()
+		}
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDecl{Pos: kw.Pos, Name: name.Text, Params: params, Body: body}, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	lb, err := p.expect(LBrace)
+	if err != nil {
+		return nil, err
+	}
+	blk := &BlockStmt{Pos: lb.Pos}
+	for p.tok.Kind != RBrace {
+		if p.tok.Kind == EOF {
+			return nil, errf(p.tok.Pos, "unexpected EOF inside block opened at %s", lb.Pos)
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, s)
+	}
+	p.next() // consume }
+	if p.err != nil {
+		return nil, p.err
+	}
+	return blk, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
+	switch p.tok.Kind {
+	case KwVar:
+		pos := p.tok.Pos
+		p.next()
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Assign); err != nil {
+			return nil, err
+		}
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &VarStmt{Pos: pos, Name: name.Text, Init: init}, nil
+
+	case KwIf:
+		return p.parseIf()
+
+	case KwWhile:
+		pos := p.tok.Pos
+		p.next()
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Pos: pos, Cond: cond, Body: body}, nil
+
+	case KwFor:
+		return p.parseFor()
+
+	case KwReturn:
+		pos := p.tok.Pos
+		p.next()
+		if p.tok.Kind == Semi {
+			p.next()
+			return &ReturnStmt{Pos: pos}, nil
+		}
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Pos: pos, Value: v}, nil
+
+	case KwBreak:
+		pos := p.tok.Pos
+		p.next()
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: pos}, nil
+
+	case KwContinue:
+		pos := p.tok.Pos
+		p.next()
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: pos}, nil
+
+	case KwPrint:
+		pos := p.tok.Pos
+		p.next()
+		var args []Expr
+		for {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if p.tok.Kind != Comma {
+				break
+			}
+			p.next()
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &PrintStmt{Pos: pos, Args: args}, nil
+
+	case LBrace:
+		return p.parseBlock()
+
+	case IDENT:
+		// Assignment or expression statement; decide by lookahead.
+		name := p.tok
+		p.next()
+		switch p.tok.Kind {
+		case Assign:
+			p.next()
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(Semi); err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Pos: name.Pos, Name: name.Text, Value: v}, nil
+		case LBrack:
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBrack); err != nil {
+				return nil, err
+			}
+			if p.tok.Kind == Assign {
+				p.next()
+				v, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(Semi); err != nil {
+					return nil, err
+				}
+				return &AssignStmt{Pos: name.Pos, Name: name.Text, Index: idx, Value: v}, nil
+			}
+			// It was an expression beginning with an index: continue
+			// parsing it as an expression statement.
+			lhs := Expr(&IndexExpr{Pos: name.Pos, Name: name.Text, Index: idx})
+			x, err := p.parseBinaryFrom(lhs, 0)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(Semi); err != nil {
+				return nil, err
+			}
+			return &ExprStmt{Pos: name.Pos, X: x}, nil
+		case LParen:
+			call, err := p.parseCallAfterName(name)
+			if err != nil {
+				return nil, err
+			}
+			x, err := p.parseBinaryFrom(call, 0)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(Semi); err != nil {
+				return nil, err
+			}
+			return &ExprStmt{Pos: name.Pos, X: x}, nil
+		default:
+			lhs := Expr(&Ident{Pos: name.Pos, Name: name.Text})
+			x, err := p.parseBinaryFrom(lhs, 0)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(Semi); err != nil {
+				return nil, err
+			}
+			return &ExprStmt{Pos: name.Pos, X: x}, nil
+		}
+	}
+	return nil, errf(p.tok.Pos, "unexpected %s at start of statement", p.tok)
+}
+
+// parseFor parses `for init; cond; post { body }`. Each of the three
+// header parts may be empty: `for ;; { ... }` is an infinite loop.
+func (p *Parser) parseFor() (Stmt, error) {
+	pos := p.tok.Pos
+	p.next() // for
+	st := &ForStmt{Pos: pos}
+
+	// Init: empty, var declaration, or assignment; consumes its ';'.
+	if p.tok.Kind == Semi {
+		p.next()
+	} else {
+		init, err := p.parseForAssign()
+		if err != nil {
+			return nil, err
+		}
+		st.Init = init
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+	}
+	// Cond: empty means true.
+	if p.tok.Kind == Semi {
+		p.next()
+	} else {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Cond = cond
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+	}
+	// Post: empty or assignment, no trailing ';'.
+	if p.tok.Kind != LBrace {
+		post, err := p.parseForAssign()
+		if err != nil {
+			return nil, err
+		}
+		if _, isVar := post.(*VarStmt); isVar {
+			return nil, errf(pos, "for post-statement cannot be a declaration")
+		}
+		st.Post = post
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	st.Body = body
+	return st, nil
+}
+
+// parseForAssign parses a for-header clause: `var x = e`, `x = e`, or
+// `x[i] = e`, without a trailing semicolon.
+func (p *Parser) parseForAssign() (Stmt, error) {
+	if p.tok.Kind == KwVar {
+		pos := p.tok.Pos
+		p.next()
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Assign); err != nil {
+			return nil, err
+		}
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &VarStmt{Pos: pos, Name: name.Text, Init: init}, nil
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	var index Expr
+	if p.tok.Kind == LBrack {
+		p.next()
+		index, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RBrack); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(Assign); err != nil {
+		return nil, err
+	}
+	value, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &AssignStmt{Pos: name.Pos, Name: name.Text, Index: index, Value: value}, nil
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	pos := p.tok.Pos
+	p.next() // if
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Pos: pos, Cond: cond, Then: then}
+	if p.tok.Kind == KwElse {
+		p.next()
+		if p.tok.Kind == KwIf {
+			els, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		} else {
+			els, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+	}
+	return st, nil
+}
+
+// Binding powers, loosest first. Index into this table is the precedence
+// level passed to parseBinary.
+var precedence = map[Kind]int{
+	OrOr:   1,
+	AndAnd: 2,
+	Eq:     3, Ne: 3,
+	Lt: 4, Le: 4, Gt: 4, Ge: 4,
+	Or: 5, Xor: 5,
+	And: 6,
+	Shl: 7, Shr: 7,
+	Add: 8, Sub: 8,
+	Mul: 9, Div: 9, Rem: 9,
+}
+
+func (p *Parser) parseExpr() (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	return p.parseBinaryFrom(lhs, 0)
+}
+
+// parseBinaryFrom continues precedence climbing with an already-parsed
+// left operand.
+func (p *Parser) parseBinaryFrom(lhs Expr, minPrec int) (Expr, error) {
+	for {
+		prec, ok := precedence[p.tok.Kind]
+		if !ok || prec <= minPrec {
+			return lhs, nil
+		}
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		p.next()
+		rhs, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		rhs, err = p.parseBinaryFrom(rhs, prec)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Pos: pos, Op: op, X: lhs, Y: rhs}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
+	switch p.tok.Kind {
+	case Not, Sub:
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: pos, Op: op, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	switch p.tok.Kind {
+	case INT:
+		t := p.tok
+		p.next()
+		return &IntLit{Pos: t.Pos, Val: t.Val}, nil
+	case LParen:
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case IDENT:
+		name := p.tok
+		p.next()
+		switch p.tok.Kind {
+		case LParen:
+			return p.parseCallAfterName(name)
+		case LBrack:
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBrack); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Pos: name.Pos, Name: name.Text, Index: idx}, nil
+		}
+		return &Ident{Pos: name.Pos, Name: name.Text}, nil
+	}
+	return nil, errf(p.tok.Pos, "unexpected %s in expression", p.tok)
+}
+
+func (p *Parser) parseCallAfterName(name Token) (Expr, error) {
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	if p.tok.Kind != RParen {
+		for {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if p.tok.Kind != Comma {
+				break
+			}
+			p.next()
+		}
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	return &CallExpr{Pos: name.Pos, Name: name.Text, Args: args}, nil
+}

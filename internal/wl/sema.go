@@ -1,0 +1,195 @@
+package wl
+
+import "fmt"
+
+// Builtin names; calls to these are compiled to dedicated instructions
+// rather than function calls.
+const (
+	BuiltinArray = "array" // array(n): new zeroed array of length n
+	BuiltinLen   = "len"   // len(a): array length
+)
+
+// Check performs semantic analysis on a parsed file:
+//
+//   - function names are unique and do not shadow builtins,
+//   - a main function exists,
+//   - every called function exists and is called with the right arity,
+//   - variables are declared (as params or var) before use, and not
+//     redeclared in the same function,
+//   - break/continue appear only inside loops.
+//
+// WL is dynamically typed between scalars and arrays; type mismatches are
+// runtime errors, as in the paper's machine-code substrate where the
+// distinction does not exist statically.
+func Check(f *File) error {
+	funcs := map[string]*FuncDecl{}
+	for _, fn := range f.Funcs {
+		if fn.Name == BuiltinArray || fn.Name == BuiltinLen {
+			return errf(fn.Pos, "function %s shadows a builtin", fn.Name)
+		}
+		if prev, dup := funcs[fn.Name]; dup {
+			return errf(fn.Pos, "function %s redeclared (previous at %s)", fn.Name, prev.Pos)
+		}
+		funcs[fn.Name] = fn
+	}
+	if _, ok := funcs["main"]; !ok {
+		return fmt.Errorf("wl: no main function")
+	}
+	for _, fn := range f.Funcs {
+		c := &checker{funcs: funcs, vars: map[string]bool{}}
+		for _, p := range fn.Params {
+			if c.vars[p] {
+				return errf(fn.Pos, "parameter %s repeated in %s", p, fn.Name)
+			}
+			c.vars[p] = true
+		}
+		if err := c.block(fn.Body, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	funcs map[string]*FuncDecl
+	vars  map[string]bool
+}
+
+func (c *checker) block(b *BlockStmt, loopDepth int) error {
+	for _, s := range b.Stmts {
+		if err := c.stmt(s, loopDepth); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) stmt(s Stmt, loopDepth int) error {
+	switch s := s.(type) {
+	case *BlockStmt:
+		return c.block(s, loopDepth)
+	case *VarStmt:
+		if err := c.expr(s.Init); err != nil {
+			return err
+		}
+		if c.vars[s.Name] {
+			return errf(s.Pos, "variable %s redeclared", s.Name)
+		}
+		c.vars[s.Name] = true
+		return nil
+	case *AssignStmt:
+		if !c.vars[s.Name] {
+			return errf(s.Pos, "assignment to undeclared variable %s", s.Name)
+		}
+		if s.Index != nil {
+			if err := c.expr(s.Index); err != nil {
+				return err
+			}
+		}
+		return c.expr(s.Value)
+	case *IfStmt:
+		if err := c.expr(s.Cond); err != nil {
+			return err
+		}
+		if err := c.block(s.Then, loopDepth); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return c.stmt(s.Else, loopDepth)
+		}
+		return nil
+	case *WhileStmt:
+		if err := c.expr(s.Cond); err != nil {
+			return err
+		}
+		return c.block(s.Body, loopDepth+1)
+	case *ForStmt:
+		if s.Init != nil {
+			if err := c.stmt(s.Init, loopDepth); err != nil {
+				return err
+			}
+		}
+		if s.Cond != nil {
+			if err := c.expr(s.Cond); err != nil {
+				return err
+			}
+		}
+		if s.Post != nil {
+			if err := c.stmt(s.Post, loopDepth); err != nil {
+				return err
+			}
+		}
+		return c.block(s.Body, loopDepth+1)
+	case *ReturnStmt:
+		if s.Value != nil {
+			return c.expr(s.Value)
+		}
+		return nil
+	case *BreakStmt:
+		if loopDepth == 0 {
+			return errf(s.Pos, "break outside loop")
+		}
+		return nil
+	case *ContinueStmt:
+		if loopDepth == 0 {
+			return errf(s.Pos, "continue outside loop")
+		}
+		return nil
+	case *PrintStmt:
+		for _, a := range s.Args {
+			if err := c.expr(a); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *ExprStmt:
+		return c.expr(s.X)
+	}
+	return fmt.Errorf("wl: unknown statement %T", s)
+}
+
+func (c *checker) expr(e Expr) error {
+	switch e := e.(type) {
+	case *IntLit:
+		return nil
+	case *Ident:
+		if !c.vars[e.Name] {
+			return errf(e.Pos, "undeclared variable %s", e.Name)
+		}
+		return nil
+	case *IndexExpr:
+		if !c.vars[e.Name] {
+			return errf(e.Pos, "undeclared variable %s", e.Name)
+		}
+		return c.expr(e.Index)
+	case *CallExpr:
+		switch e.Name {
+		case BuiltinArray, BuiltinLen:
+			if len(e.Args) != 1 {
+				return errf(e.Pos, "%s takes 1 argument, got %d", e.Name, len(e.Args))
+			}
+		default:
+			fn, ok := c.funcs[e.Name]
+			if !ok {
+				return errf(e.Pos, "call to undefined function %s", e.Name)
+			}
+			if len(e.Args) != len(fn.Params) {
+				return errf(e.Pos, "%s takes %d argument(s), got %d", e.Name, len(fn.Params), len(e.Args))
+			}
+		}
+		for _, a := range e.Args {
+			if err := c.expr(a); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *UnaryExpr:
+		return c.expr(e.X)
+	case *BinaryExpr:
+		if err := c.expr(e.X); err != nil {
+			return err
+		}
+		return c.expr(e.Y)
+	}
+	return fmt.Errorf("wl: unknown expression %T", e)
+}

@@ -1,0 +1,147 @@
+// Package wl implements the front end of WL, the small imperative
+// "workload language" used to drive the whole-program-path pipeline. WL
+// programs stand in for the paper's SPEC binaries: the compiler in package
+// wlc lowers them to CFG-based IR, which package interp executes with
+// Ball–Larus path instrumentation — the moral equivalent of the paper's
+// binary rewriting.
+//
+// The language has int64 scalars, int64 arrays, functions, if/while
+// control flow with short-circuit booleans, and a print statement:
+//
+//	func main(n) {
+//	    var i = 0;
+//	    var a = array(n);
+//	    while i < n {
+//	        a[i] = i * i;
+//	        i = i + 1;
+//	    }
+//	    return sum(a);
+//	}
+//
+//	func sum(a) {
+//	    var s = 0;
+//	    var i = 0;
+//	    while i < len(a) { s = s + a[i]; i = i + 1; }
+//	    return s;
+//	}
+package wl
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind uint8
+
+// Token kinds. Operator kinds double as AST operator codes.
+const (
+	EOF Kind = iota
+	IDENT
+	INT
+
+	// Keywords.
+	KwFunc
+	KwVar
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwReturn
+	KwBreak
+	KwContinue
+	KwPrint
+
+	// Punctuation.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBrack
+	RBrack
+	Comma
+	Semi
+	Assign
+
+	// Operators.
+	Add
+	Sub
+	Mul
+	Div
+	Rem
+	Lt
+	Le
+	Gt
+	Ge
+	Eq
+	Ne
+	AndAnd
+	OrOr
+	Not
+	And
+	Or
+	Xor
+	Shl
+	Shr
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", INT: "integer",
+	KwFunc: "func", KwVar: "var", KwIf: "if", KwElse: "else",
+	KwWhile: "while", KwFor: "for", KwReturn: "return", KwBreak: "break",
+	KwContinue: "continue", KwPrint: "print",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}",
+	LBrack: "[", RBrack: "]", Comma: ",", Semi: ";", Assign: "=",
+	Add: "+", Sub: "-", Mul: "*", Div: "/", Rem: "%",
+	Lt: "<", Le: "<=", Gt: ">", Ge: ">=", Eq: "==", Ne: "!=",
+	AndAnd: "&&", OrOr: "||", Not: "!",
+	And: "&", Or: "|", Xor: "^", Shl: "<<", Shr: ">>",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+var keywords = map[string]Kind{
+	"func": KwFunc, "var": KwVar, "if": KwIf, "else": KwElse,
+	"while": KwWhile, "for": KwFor, "return": KwReturn, "break": KwBreak,
+	"continue": KwContinue, "print": KwPrint,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Pos  Pos
+	Text string // identifier name
+	Val  int64  // integer value
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT:
+		return t.Text
+	case INT:
+		return fmt.Sprintf("%d", t.Val)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Error is a front-end diagnostic with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

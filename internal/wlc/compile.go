@@ -1,0 +1,453 @@
+package wlc
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/wl"
+)
+
+// Compile parses, checks, and lowers WL source text into an IR program.
+func Compile(src string) (*Program, error) {
+	file, err := wl.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := wl.Check(file); err != nil {
+		return nil, err
+	}
+	return Lower(file)
+}
+
+// Lower compiles a checked AST into an IR program.
+func Lower(file *wl.File) (*Program, error) {
+	p := &Program{ByName: map[string]*Func{}}
+	fnID := map[string]int32{}
+	for i, fn := range file.Funcs {
+		fnID[fn.Name] = int32(i)
+	}
+	for i, fn := range file.Funcs {
+		f, err := lowerFunc(fn, int32(i), fnID)
+		if err != nil {
+			return nil, err
+		}
+		p.Funcs = append(p.Funcs, f)
+		p.ByName[f.Name] = f
+	}
+	return p, nil
+}
+
+// lowerer holds per-function compilation state.
+type lowerer struct {
+	fn     *Func
+	fnID   map[string]int32
+	g      *cfg.Graph
+	code   map[cfg.BlockID][]Instr
+	terms  map[cfg.BlockID]Term
+	vars   map[string]int32
+	temp   int32 // next temporary register
+	high   int32 // high-water mark of temp
+	base   int32 // first temporary register
+	cur    cfg.BlockID
+	dead   bool // current insertion point is unreachable
+	exit   cfg.BlockID
+	breaks []cfg.BlockID // innermost loop's after-block stack
+	conts  []*lazyBlock  // innermost loop's continue-target stack
+}
+
+// lazyBlock defers basic-block creation until a jump actually targets it,
+// so loops whose bodies never fall through or continue do not leave
+// orphan blocks behind.
+type lazyBlock struct {
+	blk  *cfg.Block
+	name string
+}
+
+func (lo *lowerer) lazyID(lb *lazyBlock) cfg.BlockID {
+	if lb.blk == nil {
+		lb.blk = lo.newBlock(lb.name)
+	}
+	return lb.blk.ID
+}
+
+func lowerFunc(decl *wl.FuncDecl, id int32, fnID map[string]int32) (*Func, error) {
+	g := cfg.New(decl.Name)
+	lo := &lowerer{
+		fn:    &Func{ID: id, Name: decl.Name, Params: len(decl.Params)},
+		fnID:  fnID,
+		g:     g,
+		code:  map[cfg.BlockID][]Instr{},
+		terms: map[cfg.BlockID]Term{},
+		vars:  map[string]int32{},
+	}
+	// Register layout: r0 return slot, then params, then all locals (found
+	// by pre-scan), then temporaries.
+	next := int32(1)
+	for _, p := range decl.Params {
+		lo.vars[p] = next
+		next++
+	}
+	collectVars(decl.Body, func(name string) {
+		lo.vars[name] = next
+		next++
+	})
+	lo.base = next
+	lo.temp = next
+	lo.high = next
+
+	entry := g.NewBlock("entry")
+	exitB := g.NewBlock("exit")
+	lo.exit = exitB.ID
+	lo.terms[exitB.ID] = Term{Kind: TermExit}
+	body := lo.newBlock("body")
+	lo.edge(entry.ID, body.ID)
+	lo.terms[entry.ID] = Term{Kind: TermJump}
+	lo.cur = body.ID
+
+	lo.block(decl.Body)
+	if !lo.dead {
+		// Implicit "return 0".
+		lo.emit(Instr{Op: OpConst, Dst: 0, Imm: 0, Pos: decl.Pos})
+		lo.jump(lo.exit)
+	}
+
+	g.SetEntry(entry.ID)
+	g.SetExit(exitB.ID)
+	// Materialize code/term tables and block weights.
+	lo.fn.Code = make([][]Instr, g.NumBlocks())
+	lo.fn.Terms = make([]Term, g.NumBlocks())
+	for _, b := range g.Blocks() {
+		lo.fn.Code[b.ID] = lo.code[b.ID]
+		t, ok := lo.terms[b.ID]
+		if !ok {
+			return nil, fmt.Errorf("wlc: %s: block %d has no terminator", decl.Name, b.ID)
+		}
+		lo.fn.Terms[b.ID] = t
+		b.Weight = len(lo.code[b.ID]) + 1
+	}
+	if err := g.Finish(); err != nil {
+		return nil, fmt.Errorf("wlc: %s: %w (does every loop reach the function end?)", decl.Name, err)
+	}
+	lo.fn.NumRegs = int(lo.high)
+	lo.fn.Graph = g
+	return lo.fn, nil
+}
+
+// collectVars invokes visit for every var declaration in the statement
+// tree, in source order.
+func collectVars(s wl.Stmt, visit func(string)) {
+	switch s := s.(type) {
+	case *wl.BlockStmt:
+		for _, st := range s.Stmts {
+			collectVars(st, visit)
+		}
+	case *wl.VarStmt:
+		visit(s.Name)
+	case *wl.IfStmt:
+		collectVars(s.Then, visit)
+		if s.Else != nil {
+			collectVars(s.Else, visit)
+		}
+	case *wl.WhileStmt:
+		collectVars(s.Body, visit)
+	case *wl.ForStmt:
+		if s.Init != nil {
+			collectVars(s.Init, visit)
+		}
+		collectVars(s.Body, visit)
+	}
+}
+
+func (lo *lowerer) newBlock(name string) *cfg.Block { return lo.g.NewBlock(name) }
+
+func (lo *lowerer) edge(from, to cfg.BlockID) {
+	if err := lo.g.AddEdge(from, to); err != nil {
+		// Lowering always creates distinct target blocks, so duplicates
+		// indicate a compiler bug.
+		panic(err)
+	}
+}
+
+func (lo *lowerer) emit(in Instr) {
+	if lo.dead {
+		return
+	}
+	lo.code[lo.cur] = append(lo.code[lo.cur], in)
+}
+
+// jump terminates the current block with an unconditional transfer to
+// `to` and marks the insertion point dead until startBlock.
+func (lo *lowerer) jump(to cfg.BlockID) {
+	if lo.dead {
+		return
+	}
+	lo.terms[lo.cur] = Term{Kind: TermJump}
+	lo.edge(lo.cur, to)
+	lo.dead = true
+}
+
+// branch terminates the current block with a conditional transfer.
+func (lo *lowerer) branch(cond int32, ifTrue, ifFalse cfg.BlockID) {
+	if lo.dead {
+		return
+	}
+	lo.terms[lo.cur] = Term{Kind: TermBranch, Cond: cond}
+	lo.edge(lo.cur, ifTrue)
+	lo.edge(lo.cur, ifFalse)
+	lo.dead = true
+}
+
+// startBlock makes b the current insertion point.
+func (lo *lowerer) startBlock(b cfg.BlockID) {
+	lo.cur = b
+	lo.dead = false
+}
+
+// newTemp allocates a temporary register.
+func (lo *lowerer) newTemp() int32 {
+	r := lo.temp
+	lo.temp++
+	if lo.temp > lo.high {
+		lo.high = lo.temp
+	}
+	return r
+}
+
+// resetTemps releases all statement-scoped temporaries.
+func (lo *lowerer) resetTemps() { lo.temp = lo.base }
+
+func (lo *lowerer) block(b *wl.BlockStmt) {
+	for _, s := range b.Stmts {
+		if lo.dead {
+			// Unreachable trailing statements (after return/break/continue)
+			// are dropped.
+			return
+		}
+		lo.stmt(s)
+		lo.resetTemps()
+	}
+}
+
+func (lo *lowerer) stmt(s wl.Stmt) {
+	switch s := s.(type) {
+	case *wl.BlockStmt:
+		lo.block(s)
+	case *wl.VarStmt:
+		r := lo.expr(s.Init)
+		lo.emit(Instr{Op: OpMov, Dst: lo.vars[s.Name], A: r, Pos: s.Pos})
+	case *wl.AssignStmt:
+		if s.Index == nil {
+			r := lo.expr(s.Value)
+			lo.emit(Instr{Op: OpMov, Dst: lo.vars[s.Name], A: r, Pos: s.Pos})
+			return
+		}
+		idx := lo.expr(s.Index)
+		val := lo.expr(s.Value)
+		lo.emit(Instr{Op: OpStore, A: lo.vars[s.Name], B: idx, Dst: val, Pos: s.Pos})
+	case *wl.IfStmt:
+		cond := lo.expr(s.Cond)
+		thenB := lo.newBlock("then")
+		if s.Else == nil {
+			join := lo.newBlock("join")
+			lo.branch(cond, thenB.ID, join.ID)
+			lo.startBlock(thenB.ID)
+			lo.block(s.Then)
+			lo.jump(join.ID)
+			lo.startBlock(join.ID)
+			return
+		}
+		elseB := lo.newBlock("else")
+		lo.branch(cond, thenB.ID, elseB.ID)
+		lo.startBlock(thenB.ID)
+		lo.block(s.Then)
+		thenEnd, thenDead := lo.cur, lo.dead
+		lo.startBlock(elseB.ID)
+		lo.stmt(s.Else)
+		elseEnd, elseDead := lo.cur, lo.dead
+		if thenDead && elseDead {
+			// Both arms left the region (return/break/continue): there is
+			// no join and whatever follows is unreachable.
+			lo.dead = true
+			return
+		}
+		// Create the join lazily so it never exists without predecessors.
+		join := lo.newBlock("join")
+		if !thenDead {
+			lo.terms[thenEnd] = Term{Kind: TermJump}
+			lo.edge(thenEnd, join.ID)
+		}
+		if !elseDead {
+			lo.terms[elseEnd] = Term{Kind: TermJump}
+			lo.edge(elseEnd, join.ID)
+		}
+		lo.startBlock(join.ID)
+	case *wl.WhileStmt:
+		head := lo.newBlock("head")
+		body := lo.newBlock("while")
+		after := lo.newBlock("after")
+		lo.jump(head.ID)
+		lo.startBlock(head.ID)
+		cond := lo.expr(s.Cond)
+		lo.branch(cond, body.ID, after.ID)
+		lo.breaks = append(lo.breaks, after.ID)
+		lo.conts = append(lo.conts, &lazyBlock{blk: lo.g.Block(head.ID)})
+		lo.startBlock(body.ID)
+		lo.block(s.Body)
+		lo.jump(head.ID)
+		lo.breaks = lo.breaks[:len(lo.breaks)-1]
+		lo.conts = lo.conts[:len(lo.conts)-1]
+		lo.startBlock(after.ID)
+	case *wl.ForStmt:
+		if s.Init != nil {
+			lo.stmt(s.Init)
+			lo.resetTemps()
+		}
+		head := lo.newBlock("for_head")
+		body := lo.newBlock("for_body")
+		post := &lazyBlock{name: "for_post"}
+		after := lo.newBlock("for_after")
+		lo.jump(head.ID)
+		lo.startBlock(head.ID)
+		var cond int32
+		if s.Cond != nil {
+			cond = lo.expr(s.Cond)
+		} else {
+			// An omitted condition lowers to the constant 1 (exactly as
+			// `while 1` does), keeping the after-block statically
+			// reachable even when the body never breaks.
+			cond = lo.newTemp()
+			lo.emit(Instr{Op: OpConst, Dst: cond, Imm: 1, Pos: s.Pos})
+		}
+		lo.branch(cond, body.ID, after.ID)
+		lo.breaks = append(lo.breaks, after.ID)
+		lo.conts = append(lo.conts, post)
+		lo.startBlock(body.ID)
+		lo.block(s.Body)
+		if !lo.dead {
+			lo.jump(lo.lazyID(post))
+		}
+		lo.breaks = lo.breaks[:len(lo.breaks)-1]
+		lo.conts = lo.conts[:len(lo.conts)-1]
+		// The post block exists only if the body fell through or
+		// continued; otherwise the loop never iterates again.
+		if post.blk != nil {
+			lo.startBlock(post.blk.ID)
+			if s.Post != nil {
+				lo.stmt(s.Post)
+				lo.resetTemps()
+			}
+			lo.jump(head.ID)
+		}
+		lo.startBlock(after.ID)
+	case *wl.ReturnStmt:
+		if s.Value != nil {
+			r := lo.expr(s.Value)
+			lo.emit(Instr{Op: OpMov, Dst: 0, A: r, Pos: s.Pos})
+		} else {
+			lo.emit(Instr{Op: OpConst, Dst: 0, Imm: 0, Pos: s.Pos})
+		}
+		lo.jump(lo.exit)
+	case *wl.BreakStmt:
+		lo.jump(lo.breaks[len(lo.breaks)-1])
+	case *wl.ContinueStmt:
+		lo.jump(lo.lazyID(lo.conts[len(lo.conts)-1]))
+	case *wl.PrintStmt:
+		args := make([]int32, len(s.Args))
+		for i, a := range s.Args {
+			args[i] = lo.expr(a)
+		}
+		lo.emit(Instr{Op: OpPrint, Args: args, Pos: s.Pos})
+	case *wl.ExprStmt:
+		lo.expr(s.X)
+	default:
+		panic(fmt.Sprintf("wlc: unknown statement %T", s))
+	}
+}
+
+func (lo *lowerer) expr(e wl.Expr) int32 {
+	switch e := e.(type) {
+	case *wl.IntLit:
+		r := lo.newTemp()
+		lo.emit(Instr{Op: OpConst, Dst: r, Imm: e.Val, Pos: e.Pos})
+		return r
+	case *wl.Ident:
+		return lo.vars[e.Name]
+	case *wl.IndexExpr:
+		idx := lo.expr(e.Index)
+		r := lo.newTemp()
+		lo.emit(Instr{Op: OpLoad, Dst: r, A: lo.vars[e.Name], B: idx, Pos: e.Pos})
+		return r
+	case *wl.CallExpr:
+		switch e.Name {
+		case wl.BuiltinArray:
+			a := lo.expr(e.Args[0])
+			r := lo.newTemp()
+			lo.emit(Instr{Op: OpNewArr, Dst: r, A: a, Pos: e.Pos})
+			return r
+		case wl.BuiltinLen:
+			a := lo.expr(e.Args[0])
+			r := lo.newTemp()
+			lo.emit(Instr{Op: OpLen, Dst: r, A: a, Pos: e.Pos})
+			return r
+		}
+		args := make([]int32, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = lo.expr(a)
+		}
+		r := lo.newTemp()
+		lo.emit(Instr{Op: OpCall, Dst: r, Fn: lo.fnID[e.Name], Args: args, Pos: e.Pos})
+		return r
+	case *wl.UnaryExpr:
+		x := lo.expr(e.X)
+		r := lo.newTemp()
+		if e.Op == wl.Not {
+			lo.emit(Instr{Op: OpNot, Dst: r, A: x, Pos: e.Pos})
+		} else {
+			lo.emit(Instr{Op: OpNeg, Dst: r, A: x, Pos: e.Pos})
+		}
+		return r
+	case *wl.BinaryExpr:
+		if e.Op == wl.AndAnd || e.Op == wl.OrOr {
+			return lo.shortCircuit(e)
+		}
+		x := lo.expr(e.X)
+		y := lo.expr(e.Y)
+		r := lo.newTemp()
+		lo.emit(Instr{Op: OpBin, Dst: r, A: x, B: y, BinOp: e.Op, Pos: e.Pos})
+		return r
+	}
+	panic(fmt.Sprintf("wlc: unknown expression %T", e))
+}
+
+// shortCircuit lowers && and || to control flow producing 0 or 1, as a
+// compiler for a real machine would; the extra branches are part of what
+// makes WL traces realistic.
+func (lo *lowerer) shortCircuit(e *wl.BinaryExpr) int32 {
+	r := lo.newTemp()
+	x := lo.expr(e.X)
+	rhs := lo.newBlock("sc_rhs")
+	short := lo.newBlock("sc_short")
+	join := lo.newBlock("sc_join")
+	if e.Op == wl.AndAnd {
+		lo.branch(x, rhs.ID, short.ID)
+	} else {
+		lo.branch(x, short.ID, rhs.ID)
+	}
+	// Short-circuit side: result is 0 for &&, 1 for ||.
+	lo.startBlock(short.ID)
+	imm := int64(0)
+	if e.Op == wl.OrOr {
+		imm = 1
+	}
+	lo.emit(Instr{Op: OpConst, Dst: r, Imm: imm, Pos: e.Pos})
+	lo.jump(join.ID)
+	// RHS side: result is rhs != 0, normalized with two nots.
+	lo.startBlock(rhs.ID)
+	y := lo.expr(e.Y)
+	t := lo.newTemp()
+	lo.emit(Instr{Op: OpNot, Dst: t, A: y, Pos: e.Pos})
+	lo.emit(Instr{Op: OpNot, Dst: r, A: t, Pos: e.Pos})
+	lo.jump(join.ID)
+	lo.startBlock(join.ID)
+	return r
+}

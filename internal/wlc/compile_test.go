@@ -1,0 +1,232 @@
+package wlc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bl"
+)
+
+func mustCompile(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCompileMinimal(t *testing.T) {
+	p := mustCompile(t, "func main() { return 42; }")
+	f := p.ByName["main"]
+	if f == nil {
+		t.Fatal("no main")
+	}
+	if f.Graph.NumBlocks() < 3 {
+		t.Fatalf("expected at least entry/body/exit, got %d blocks", f.Graph.NumBlocks())
+	}
+	if f.Graph.Block(f.Graph.Entry).Preds != nil {
+		t.Fatal("entry has predecessors")
+	}
+}
+
+func TestCompileSyntaxErrorPropagates(t *testing.T) {
+	if _, err := Compile("func main( {"); err == nil {
+		t.Fatal("syntax error not propagated")
+	}
+}
+
+func TestCompileSemaErrorPropagates(t *testing.T) {
+	if _, err := Compile("func main() { return x; }"); err == nil {
+		t.Fatal("sema error not propagated")
+	}
+}
+
+func TestWhileProducesBackEdge(t *testing.T) {
+	p := mustCompile(t, `
+func main(n) {
+    var i = 0;
+    while i < n { i = i + 1; }
+    return i;
+}`)
+	f := p.ByName["main"]
+	back, err := f.Graph.BackEdges()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 {
+		t.Fatalf("back edges = %v, want exactly 1", back)
+	}
+}
+
+func TestNestedLoopsNumberable(t *testing.T) {
+	p := mustCompile(t, `
+func main(n) {
+    var s = 0;
+    var i = 0;
+    while i < n {
+        var j = 0;
+        while j < n {
+            s = s + i * j;
+            j = j + 1;
+        }
+        i = i + 1;
+    }
+    return s;
+}`)
+	f := p.ByName["main"]
+	if _, err := bl.Number(f.Graph); err != nil {
+		t.Fatalf("nested loops not numberable: %v", err)
+	}
+}
+
+func TestBothArmsReturn(t *testing.T) {
+	p := mustCompile(t, `
+func main(n) {
+    if n > 0 {
+        return 1;
+    } else {
+        return 2;
+    }
+}`)
+	f := p.ByName["main"]
+	if _, err := bl.Number(f.Graph); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadCodeAfterReturnDropped(t *testing.T) {
+	p := mustCompile(t, `
+func main() {
+    return 1;
+    print 999;
+}`)
+	dis := p.Disassemble()
+	if strings.Contains(dis, "print") {
+		t.Fatalf("dead print survived:\n%s", dis)
+	}
+}
+
+func TestBreakContinueLowering(t *testing.T) {
+	p := mustCompile(t, `
+func main(n) {
+    var i = 0;
+    var s = 0;
+    while 1 {
+        i = i + 1;
+        if i > n { break; }
+        if i % 2 == 0 { continue; }
+        s = s + i;
+    }
+    return s;
+}`)
+	f := p.ByName["main"]
+	if _, err := bl.Number(f.Graph); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShortCircuitCreatesBranches(t *testing.T) {
+	withSC := mustCompile(t, "func main(a, b) { return a > 0 && b > 0; }")
+	withoutSC := mustCompile(t, "func main(a, b) { return a > 0; }")
+	if withSC.ByName["main"].Graph.NumBlocks() <= withoutSC.ByName["main"].Graph.NumBlocks() {
+		t.Fatal("&& did not lower to control flow")
+	}
+}
+
+func TestRegisterLayout(t *testing.T) {
+	p := mustCompile(t, `
+func f(a, b) {
+    var c = a + b;
+    var d = c * 2;
+    return d;
+}
+func main() { return f(1, 2); }`)
+	f := p.ByName["f"]
+	if f.Params != 2 {
+		t.Fatalf("Params = %d", f.Params)
+	}
+	// r0 ret, r1-r2 params, r3-r4 locals, plus temps.
+	if f.NumRegs < 5 {
+		t.Fatalf("NumRegs = %d, want >= 5", f.NumRegs)
+	}
+}
+
+func TestTempsResetPerStatement(t *testing.T) {
+	// Many statements must not inflate the register file linearly.
+	var sb strings.Builder
+	sb.WriteString("func main() { var x = 0;\n")
+	for i := 0; i < 50; i++ {
+		sb.WriteString("x = x + 1 * 2 + 3;\n")
+	}
+	sb.WriteString("return x; }")
+	p := mustCompile(t, sb.String())
+	if n := p.ByName["main"].NumRegs; n > 12 {
+		t.Fatalf("NumRegs = %d; temporaries are not being reset", n)
+	}
+}
+
+func TestDisassembleMentionsAllOps(t *testing.T) {
+	p := mustCompile(t, `
+func main(n) {
+    var a = array(4);
+    a[0] = n;
+    var x = a[0] + len(a);
+    if !x { x = -x; }
+    print x;
+    return helper(x);
+}
+func helper(v) { return v; }`)
+	dis := p.Disassemble()
+	for _, want := range []string{"array", "call f", "print", "branch", "exit", "jump"} {
+		if !strings.Contains(dis, want) {
+			t.Fatalf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}
+
+func TestAllFunctionsNumberable(t *testing.T) {
+	// A grab bag of control-flow shapes; every one must be reducible and
+	// numberable, since the pipeline depends on it.
+	p := mustCompile(t, `
+func a(n) {
+    var s = 0;
+    var i = 0;
+    while i < n {
+        if i % 3 == 0 { s = s + 1; }
+        else if i % 3 == 1 { s = s + 2; }
+        else { s = s + 3; }
+        i = i + 1;
+    }
+    return s;
+}
+func b(n) {
+    var i = 0;
+    while i < n {
+        var j = 0;
+        while j < i {
+            if j % 2 == 0 && i % 2 == 0 { j = j + 2; continue; }
+            j = j + 1;
+        }
+        i = i + 1;
+    }
+    return i;
+}
+func main() { return a(3) + b(3); }`)
+	for _, f := range p.Funcs {
+		if _, err := bl.Number(f.Graph); err != nil {
+			t.Errorf("%s: %v", f.Name, err)
+		}
+	}
+}
+
+func TestBlockWeightsPositive(t *testing.T) {
+	p := mustCompile(t, "func main(n) { while n > 0 { n = n - 1; } return n; }")
+	for _, f := range p.Funcs {
+		for _, b := range f.Graph.Blocks() {
+			if b.Weight < 1 {
+				t.Fatalf("%s block %d weight %d", f.Name, b.ID, b.Weight)
+			}
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package wlc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/wl"
+)
+
+func compileBoth(t *testing.T, src string) (plain, folded *Program) {
+	t.Helper()
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := CompileWithOptions(src, Options{ConstFold: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, o
+}
+
+func instrCount(p *Program) int {
+	n := 0
+	for _, f := range p.Funcs {
+		for _, code := range f.Code {
+			n += len(code)
+		}
+	}
+	return n
+}
+
+func TestFoldConstantExpression(t *testing.T) {
+	_, o := compileBoth(t, "func main() { return 2 + 3 * 4 - (10 / 2); }")
+	dis := o.Disassemble()
+	if !strings.Contains(dis, "r0 = 9") && !strings.Contains(dis, "= 9") {
+		t.Fatalf("expression not folded to 9:\n%s", dis)
+	}
+}
+
+func TestFoldEliminatesConstantBranches(t *testing.T) {
+	src := `
+func main(n) {
+    var s = 0;
+    if 1 { s = s + n; } else { s = s - n; }
+    if 0 { s = 999; }
+    while 0 { s = 888; }
+    return s;
+}`
+	p, o := compileBoth(t, src)
+	if o.ByName["main"].Graph.NumBlocks() >= p.ByName["main"].Graph.NumBlocks() {
+		t.Fatalf("constant branches not eliminated: %d vs %d blocks",
+			o.ByName["main"].Graph.NumBlocks(), p.ByName["main"].Graph.NumBlocks())
+	}
+	dis := o.Disassemble()
+	if strings.Contains(dis, "999") || strings.Contains(dis, "888") {
+		t.Fatalf("dead code survived:\n%s", dis)
+	}
+}
+
+func TestFoldHoistsDeadArmDeclarations(t *testing.T) {
+	// x is declared only inside dead code but used afterwards; the
+	// optimizer must keep it alive with its zero value.
+	src := `
+func main(n) {
+    while 0 { var x = 7; }
+    if 0 { var y = 9; } else { }
+    x = n;
+    return x + y;
+}`
+	_, o := compileBoth(t, src)
+	if o == nil {
+		t.Fatal("compile failed")
+	}
+}
+
+func TestFoldIdentities(t *testing.T) {
+	src := `
+func main(n) {
+    var a = n + 0;
+    var b = n * 1;
+    var c = n * 0;
+    var d = 0 + n;
+    return a + b + c + d;
+}`
+	p, o := compileBoth(t, src)
+	if instrCount(o) >= instrCount(p) {
+		t.Fatalf("identities not simplified: %d vs %d instrs", instrCount(o), instrCount(p))
+	}
+}
+
+func TestFoldPreservesDivisionFaults(t *testing.T) {
+	// 1/0 must remain a runtime fault, not be folded away or crash the
+	// compiler.
+	src := "func main() { return 1 / 0; }"
+	_, o := compileBoth(t, src)
+	if !strings.Contains(o.Disassemble(), "/") {
+		t.Fatal("faulting division was folded")
+	}
+}
+
+func TestFoldPreservesCallEffects(t *testing.T) {
+	// f(a) has effects; `f(a) * 0` must keep the call.
+	src := `
+func f(a) { a[0] = a[0] + 1; return 1; }
+func main() {
+    var a = array(1);
+    var z = f(a) * 0;
+    return a[0] + z;
+}`
+	_, o := compileBoth(t, src)
+	if !strings.Contains(o.Disassemble(), "call") {
+		t.Fatal("call with side effects eliminated")
+	}
+}
+
+func TestFoldShortCircuitConstants(t *testing.T) {
+	cases := map[string]string{
+		"func main(n) { return 0 && f(n); } func f(n) { return n; }": "call", // must NOT contain
+		"func main(n) { return 1 || f(n); } func f(n) { return n; }": "call",
+	}
+	for src := range cases {
+		_, o := compileBoth(t, src)
+		if strings.Contains(o.ByName["main"].Graph.Name, "zz") {
+			t.Fatal("unreachable")
+		}
+		dis := o.Disassemble()
+		// main must not call f; f itself still contains no calls.
+		mainHasCall := false
+		f := o.ByName["main"]
+		for _, code := range f.Code {
+			for _, in := range code {
+				if in.Op == OpCall {
+					mainHasCall = true
+				}
+			}
+		}
+		if mainHasCall {
+			t.Fatalf("short-circuit constant did not eliminate call:\n%s", dis)
+		}
+	}
+}
+
+func TestFoldConstMatchesInterpreterSemantics(t *testing.T) {
+	ops := []wl.Kind{wl.Add, wl.Sub, wl.Mul, wl.Div, wl.Rem, wl.Lt, wl.Le, wl.Gt, wl.Ge, wl.Eq, wl.Ne, wl.And, wl.Or, wl.Xor, wl.Shl, wl.Shr}
+	rng := rand.New(rand.NewSource(41))
+	f := func(a, b int64) bool {
+		op := ops[rng.Intn(len(ops))]
+		if (op == wl.Div || op == wl.Rem) && b == 0 {
+			return true
+		}
+		want, err := FoldConst(op, a, b)
+		if err != nil {
+			return false
+		}
+		// Reference: run the operation through the whole pipeline.
+		// Shift counts are masked to 6 bits by both, so any b works.
+		got := runConst(op, a, b)
+		return want == got
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runConst evaluates a op b with the same semantics the interpreter
+// implements, duplicated here deliberately as an independent oracle.
+func runConst(op wl.Kind, a, b int64) int64 {
+	switch op {
+	case wl.Add:
+		return a + b
+	case wl.Sub:
+		return a - b
+	case wl.Mul:
+		return a * b
+	case wl.Div:
+		return a / b
+	case wl.Rem:
+		return a % b
+	case wl.Lt:
+		return tb2i(a < b)
+	case wl.Le:
+		return tb2i(a <= b)
+	case wl.Gt:
+		return tb2i(a > b)
+	case wl.Ge:
+		return tb2i(a >= b)
+	case wl.Eq:
+		return tb2i(a == b)
+	case wl.Ne:
+		return tb2i(a != b)
+	case wl.And:
+		return a & b
+	case wl.Or:
+		return a | b
+	case wl.Xor:
+		return a ^ b
+	case wl.Shl:
+		return a << (uint64(b) & 63)
+	case wl.Shr:
+		return int64(uint64(a) >> (uint64(b) & 63))
+	}
+	panic("unreachable")
+}
+
+func tb2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

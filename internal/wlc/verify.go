@@ -1,0 +1,130 @@
+package wlc
+
+import (
+	"fmt"
+
+	"repro/internal/wl"
+)
+
+// Verify checks the structural integrity of a compiled program, the IR
+// analogue of an SSA verifier: every register operand in bounds, every
+// call target valid with matching arity handled at the IR level (argument
+// count equals the callee's parameter count), terminators consistent with
+// successor counts, and block weights in sync with the code. The compiler
+// must always produce programs that verify; the fuzz tests enforce it.
+func (p *Program) Verify() error {
+	for _, f := range p.Funcs {
+		if err := p.verifyFunc(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Program) verifyFunc(f *Func) error {
+	errf := func(format string, args ...any) error {
+		return fmt.Errorf("wlc: verify %s: %s", f.Name, fmt.Sprintf(format, args...))
+	}
+	if f.Params < 0 || f.Params >= f.NumRegs {
+		return errf("%d params but %d registers", f.Params, f.NumRegs)
+	}
+	if len(f.Code) != f.Graph.NumBlocks() || len(f.Terms) != f.Graph.NumBlocks() {
+		return errf("code/terminator tables sized %d/%d for %d blocks", len(f.Code), len(f.Terms), f.Graph.NumBlocks())
+	}
+	checkReg := func(r int32, what string, b int) error {
+		if r < 0 || int(r) >= f.NumRegs {
+			return errf("block %d: %s register r%d out of range [0,%d)", b, what, r, f.NumRegs)
+		}
+		return nil
+	}
+	for _, blk := range f.Graph.Blocks() {
+		b := int(blk.ID)
+		if blk.Weight != len(f.Code[blk.ID])+1 {
+			return errf("block %d: weight %d != %d instructions + terminator", b, blk.Weight, len(f.Code[blk.ID]))
+		}
+		for i, in := range f.Code[blk.ID] {
+			ctx := func(err error) error {
+				if err != nil {
+					return fmt.Errorf("%w (instruction %d: %s)", err, i, in)
+				}
+				return nil
+			}
+			switch in.Op {
+			case OpConst:
+				if err := ctx(checkReg(in.Dst, "dst", b)); err != nil {
+					return err
+				}
+			case OpMov, OpNot, OpNeg, OpNewArr, OpLen:
+				if err := ctx(checkReg(in.Dst, "dst", b)); err != nil {
+					return err
+				}
+				if err := ctx(checkReg(in.A, "src", b)); err != nil {
+					return err
+				}
+			case OpBin:
+				for _, r := range []int32{in.Dst, in.A, in.B} {
+					if err := ctx(checkReg(r, "operand", b)); err != nil {
+						return err
+					}
+				}
+				if in.BinOp < wl.Add || in.BinOp > wl.Shr {
+					return errf("block %d: instruction %d: invalid operator %v", b, i, in.BinOp)
+				}
+			case OpLoad, OpStore:
+				for _, r := range []int32{in.Dst, in.A, in.B} {
+					if err := ctx(checkReg(r, "operand", b)); err != nil {
+						return err
+					}
+				}
+			case OpCall:
+				if err := ctx(checkReg(in.Dst, "dst", b)); err != nil {
+					return err
+				}
+				if int(in.Fn) < 0 || int(in.Fn) >= len(p.Funcs) {
+					return errf("block %d: call to unknown function f%d", b, in.Fn)
+				}
+				callee := p.Funcs[in.Fn]
+				if len(in.Args) != callee.Params {
+					return errf("block %d: call to %s with %d args, wants %d", b, callee.Name, len(in.Args), callee.Params)
+				}
+				for _, r := range in.Args {
+					if err := ctx(checkReg(r, "argument", b)); err != nil {
+						return err
+					}
+				}
+			case OpPrint:
+				for _, r := range in.Args {
+					if err := ctx(checkReg(r, "argument", b)); err != nil {
+						return err
+					}
+				}
+			default:
+				return errf("block %d: instruction %d: unknown opcode %d", b, i, in.Op)
+			}
+		}
+		term := f.Terms[blk.ID]
+		switch term.Kind {
+		case TermJump:
+			if len(blk.Succs) != 1 {
+				return errf("block %d: jump with %d successors", b, len(blk.Succs))
+			}
+		case TermBranch:
+			if len(blk.Succs) != 2 {
+				return errf("block %d: branch with %d successors", b, len(blk.Succs))
+			}
+			if err := checkReg(term.Cond, "branch condition", b); err != nil {
+				return err
+			}
+		case TermExit:
+			if blk.ID != f.Graph.Exit {
+				return errf("block %d: exit terminator outside the exit block", b)
+			}
+			if len(blk.Succs) != 0 {
+				return errf("exit block has %d successors", len(blk.Succs))
+			}
+		default:
+			return errf("block %d: unknown terminator %d", b, term.Kind)
+		}
+	}
+	return nil
+}

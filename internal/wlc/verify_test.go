@@ -1,0 +1,125 @@
+package wlc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+func TestVerifyAcceptsCompilerOutput(t *testing.T) {
+	srcs := []string{
+		"func main() { return 0; }",
+		goodVerifySrc,
+	}
+	for _, w := range workloads.All {
+		srcs = append(srcs, w.Source)
+	}
+	for i, src := range srcs {
+		for _, opt := range []bool{false, true} {
+			p, err := CompileWithOptions(src, Options{ConstFold: opt})
+			if err != nil {
+				t.Fatalf("source %d: %v", i, err)
+			}
+			if err := p.Verify(); err != nil {
+				t.Fatalf("source %d (opt=%v): %v", i, opt, err)
+			}
+		}
+	}
+}
+
+const goodVerifySrc = `
+func helper(a, b) {
+    var c = array(4);
+    c[0] = a && b || !a;
+    print c[0], len(c);
+    return c[0];
+}
+func main(n) {
+    var s = 0;
+    for var i = 0; i < n; i = i + 1 {
+        s = s + helper(i, n - i);
+        if s > 100 { break; }
+    }
+    while s > 0 { s = s - 7; }
+    return s;
+}`
+
+func TestVerifyCatchesCorruption(t *testing.T) {
+	compile := func() *Program {
+		p, err := Compile(goodVerifySrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := []struct {
+		name    string
+		corrupt func(p *Program)
+		wantSub string
+	}{
+		{"reg out of range", func(p *Program) {
+			f := p.ByName["main"]
+			for b := range f.Code {
+				if len(f.Code[b]) > 0 {
+					f.Code[b][0].Dst = int32(f.NumRegs)
+					return
+				}
+			}
+		}, "out of range"},
+		{"bad call target", func(p *Program) {
+			f := p.ByName["main"]
+			for b := range f.Code {
+				for i := range f.Code[b] {
+					if f.Code[b][i].Op == OpCall {
+						f.Code[b][i].Fn = 99
+						return
+					}
+				}
+			}
+		}, "unknown function"},
+		{"bad arity", func(p *Program) {
+			f := p.ByName["main"]
+			for b := range f.Code {
+				for i := range f.Code[b] {
+					if f.Code[b][i].Op == OpCall {
+						f.Code[b][i].Args = f.Code[b][i].Args[:1]
+						return
+					}
+				}
+			}
+		}, "wants"},
+		{"stale weight", func(p *Program) {
+			f := p.ByName["main"]
+			f.Graph.Block(f.Graph.Entry).Weight += 5
+		}, "weight"},
+		{"bad terminator", func(p *Program) {
+			f := p.ByName["main"]
+			f.Terms[f.Graph.Entry] = Term{Kind: TermBranch, Cond: 0}
+		}, "branch with"},
+		{"bad operator", func(p *Program) {
+			f := p.ByName["main"]
+			for b := range f.Code {
+				for i := range f.Code[b] {
+					if f.Code[b][i].Op == OpBin {
+						f.Code[b][i].BinOp = 0
+						return
+					}
+				}
+			}
+		}, "invalid operator"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := compile()
+			c.corrupt(p)
+			err := p.Verify()
+			if err == nil {
+				t.Fatal("corruption not detected")
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("error %q does not contain %q", err, c.wantSub)
+			}
+		})
+	}
+}

@@ -1,0 +1,161 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/bl"
+	"repro/internal/interp"
+	"repro/internal/trace"
+	"repro/internal/wlc"
+)
+
+func runSmall(t *testing.T, w Workload, mode interp.Mode) (int64, interp.Stats) {
+	t.Helper()
+	p, err := wlc.Compile(w.Source)
+	if err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	cfg := interp.Config{Mode: mode}
+	if mode != interp.NoTrace {
+		cfg.Sink = func(trace.Event) {}
+	}
+	m, err := interp.New(p, cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	res, err := m.Run("main", w.Small)
+	if err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	return res, m.Stats()
+}
+
+// Golden results at Small scale. These lock down both workload semantics
+// and interpreter semantics; any change to either shows up here.
+var smallGolden = map[string]int64{
+	"compress": 3427813,
+	"lexer":    108101,
+	"expr":     84411,
+	"matrix":   1745371,
+	"game":     465,
+	"sim":      2402,
+	"sort":     287348651,
+	"hash":     859643,
+	"bfs":      419230,
+	"queens":   40, // 7-queens has exactly 40 solutions
+}
+
+func TestWorkloadsRunAndAreDeterministic(t *testing.T) {
+	for _, w := range All {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			r1, st1 := runSmall(t, w, interp.NoTrace)
+			r2, _ := runSmall(t, w, interp.NoTrace)
+			if r1 != r2 {
+				t.Fatalf("nondeterministic: %d vs %d", r1, r2)
+			}
+			if want, ok := smallGolden[w.Name]; ok && r1 != want {
+				t.Fatalf("result %d, want %d", r1, want)
+			}
+			if st1.Instructions < 10000 {
+				t.Fatalf("workload too small at Small scale: %d instructions", st1.Instructions)
+			}
+			t.Logf("%s: result=%d instrs=%d", w.Name, r1, st1.Instructions)
+		})
+	}
+}
+
+func TestWorkloadsTraceable(t *testing.T) {
+	for _, w := range All {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			plain, _ := runSmall(t, w, interp.NoTrace)
+			traced, st := runSmall(t, w, interp.PathTrace)
+			if plain != traced {
+				t.Fatalf("tracing changed result: %d vs %d", plain, traced)
+			}
+			if st.Events == 0 {
+				t.Fatal("no path events emitted")
+			}
+			// Events should be far fewer than blocks executed.
+			if st.Events*2 > st.BlocksExecuted {
+				t.Fatalf("path events %d vs blocks %d: paths too short", st.Events, st.BlocksExecuted)
+			}
+		})
+	}
+}
+
+func TestWorkloadsNumberable(t *testing.T) {
+	for _, w := range All {
+		p, err := wlc.Compile(w.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		for _, f := range p.Funcs {
+			if _, err := bl.Number(f.Graph); err != nil {
+				t.Errorf("%s/%s: %v", w.Name, f.Name, err)
+			}
+		}
+	}
+}
+
+func TestOptimizedBuildsPreserveSemantics(t *testing.T) {
+	// Constant folding must not change any workload's observable result.
+	for _, w := range All {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			plain, err := wlc.Compile(w.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt, err := wlc.CompileWithOptions(w.Source, wlc.Options{ConstFold: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mp, err := interp.New(plain, interp.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mo, err := interp.New(opt, interp.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rp, err := mp.Run("main", w.Small)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ro, err := mo.Run("main", w.Small)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rp != ro {
+				t.Fatalf("optimization changed result: %d vs %d", rp, ro)
+			}
+			if mo.Stats().Instructions > mp.Stats().Instructions {
+				t.Fatalf("optimized build executes more instructions: %d vs %d",
+					mo.Stats().Instructions, mp.Stats().Instructions)
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("compress")
+	if err != nil || w.Name != "compress" {
+		t.Fatalf("ByName(compress) = %+v, %v", w, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	if len(Names()) != len(All) {
+		t.Fatal("Names length mismatch")
+	}
+}
+
+func TestScalesOrdered(t *testing.T) {
+	for _, w := range All {
+		if !(w.Small > 0 && w.Small <= w.Medium && w.Medium <= w.Large) {
+			t.Errorf("%s: scales not ordered: %d %d %d", w.Name, w.Small, w.Medium, w.Large)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package wpp
+
+import (
+	"fmt"
+
+	"repro/internal/bl"
+	"repro/internal/sequitur"
+	"repro/internal/trace"
+)
+
+// ChunkedBuilder builds a whole program path in bounded memory: the event
+// stream is cut into fixed-size chunks and each chunk is compressed by
+// its own SEQUITUR grammar, which is snapshotted and the live grammar
+// discarded. Larus notes that SEQUITUR's memory grows with the (unique
+// structure of the) trace; chunking caps live memory at the cost of
+// repetition that spans chunk boundaries — the A3 ablation quantifies
+// that cost.
+type ChunkedBuilder struct {
+	chunkSize uint64
+	cur       *sequitur.Grammar
+	curCount  uint64
+	chunks    []*sequitur.Snapshot
+	funcs     []FuncInfo
+	nums      []*bl.Numbering
+	events    uint64
+	costs     map[trace.Event]uint64
+	// peakRHS tracks the largest live grammar seen, the memory bound the
+	// chunking buys.
+	peakRHS int
+}
+
+// NewChunkedBuilder returns a builder that seals a chunk every chunkSize
+// events. chunkSize must be positive.
+func NewChunkedBuilder(names []string, nums []*bl.Numbering, chunkSize uint64) *ChunkedBuilder {
+	if chunkSize == 0 {
+		panic("wpp: chunk size must be positive")
+	}
+	funcs := make([]FuncInfo, len(names))
+	for i, n := range names {
+		funcs[i] = FuncInfo{Name: n}
+		if nums != nil {
+			funcs[i].NumPaths = nums[i].NumPaths
+		}
+	}
+	return &ChunkedBuilder{
+		chunkSize: chunkSize,
+		cur:       sequitur.New(),
+		funcs:     funcs,
+		nums:      nums,
+		costs:     map[trace.Event]uint64{},
+	}
+}
+
+// Add feeds one event.
+func (b *ChunkedBuilder) Add(e trace.Event) {
+	b.cur.Append(uint64(e))
+	b.curCount++
+	b.events++
+	if _, seen := b.costs[e]; !seen {
+		cost := uint64(1)
+		if b.nums != nil {
+			w, err := b.nums[e.Func()].PathWeight(e.Path())
+			if err != nil {
+				panic(fmt.Sprintf("wpp: invalid event %v: %v", e, err))
+			}
+			cost = uint64(w)
+		}
+		b.costs[e] = cost
+	}
+	if b.curCount >= b.chunkSize {
+		b.seal()
+	}
+}
+
+func (b *ChunkedBuilder) seal() {
+	if st := b.cur.Stats(); st.RHSSymbols > b.peakRHS {
+		b.peakRHS = st.RHSSymbols
+	}
+	b.chunks = append(b.chunks, b.cur.Snapshot())
+	b.cur = sequitur.New()
+	b.curCount = 0
+}
+
+// ChunkedWPP is the sealed artifact.
+type ChunkedWPP struct {
+	Funcs        []FuncInfo
+	Chunks       []*sequitur.Snapshot
+	ChunkSize    uint64
+	Events       uint64
+	Instructions uint64
+	// PeakLiveRHS is the largest number of live grammar symbols during
+	// construction — the working-set bound chunking provides.
+	PeakLiveRHS int
+	costs       map[trace.Event]uint64
+}
+
+// Finish seals the current partial chunk and returns the artifact.
+func (b *ChunkedBuilder) Finish(instructions uint64) *ChunkedWPP {
+	if b.curCount > 0 {
+		b.seal()
+	} else if st := b.cur.Stats(); st.RHSSymbols > b.peakRHS {
+		b.peakRHS = st.RHSSymbols
+	}
+	return &ChunkedWPP{
+		Funcs:        b.funcs,
+		Chunks:       b.chunks,
+		ChunkSize:    b.chunkSize,
+		Events:       b.events,
+		Instructions: instructions,
+		PeakLiveRHS:  b.peakRHS,
+		costs:        b.costs,
+	}
+}
+
+// Walk yields the full event trace across all chunks in order.
+func (c *ChunkedWPP) Walk(yield func(trace.Event) bool) {
+	for _, ch := range c.Chunks {
+		if len(ch.Rules) == 0 {
+			continue
+		}
+		if !ch.Expand(0, func(v uint64) bool { return yield(trace.Event(v)) }) {
+			return
+		}
+	}
+}
+
+// EncodedSize reports the total byte size of all chunk grammars (the
+// artifact's dominant term; header/cost-table sizes match the monolithic
+// WPP and are omitted for the size comparison this type exists for).
+func (c *ChunkedWPP) EncodedSize() int64 {
+	var n int64
+	for _, ch := range c.Chunks {
+		n += ch.EncodedSize()
+	}
+	return n
+}
+
+// Stats summarizes the chunked artifact.
+type ChunkedStats struct {
+	Chunks       int
+	Events       uint64
+	Rules        int
+	RHSSymbols   int
+	GrammarBytes int64
+	PeakLiveRHS  int
+}
+
+// Stats computes the summary.
+func (c *ChunkedWPP) Stats() ChunkedStats {
+	st := ChunkedStats{
+		Chunks:       len(c.Chunks),
+		Events:       c.Events,
+		GrammarBytes: c.EncodedSize(),
+		PeakLiveRHS:  c.PeakLiveRHS,
+	}
+	for _, ch := range c.Chunks {
+		st.Rules += len(ch.Rules)
+		for _, rhs := range ch.Rules {
+			st.RHSSymbols += len(rhs)
+		}
+	}
+	return st
+}
+
+// Verify checks that every chunk is well formed and the expansion lengths
+// add up to Events.
+func (c *ChunkedWPP) Verify() error {
+	var total uint64
+	for i, ch := range c.Chunks {
+		if err := ch.Validate(); err != nil {
+			return fmt.Errorf("wpp: chunk %d: %w", i, err)
+		}
+		lens := ch.ExpandedLen()
+		if len(lens) > 0 {
+			total += lens[0]
+		}
+	}
+	if total != c.Events {
+		return fmt.Errorf("wpp: chunks expand to %d events, header says %d", total, c.Events)
+	}
+	return nil
+}

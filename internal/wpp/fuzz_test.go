@@ -1,0 +1,44 @@
+package wpp
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// FuzzDecode asserts the .wpp decoder never panics on arbitrary bytes,
+// and that valid artifacts survive a decode/verify round trip.
+func FuzzDecode(f *testing.F) {
+	// Seed with a real artifact.
+	b := NewBuilder([]string{"f"}, nil)
+	for i := 0; i < 200; i++ {
+		b.Add(trace.MakeEvent(0, uint64(i%5)))
+	}
+	w := b.Finish(200)
+	var buf bytes.Buffer
+	if _, err := w.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("WPP1"))
+	f.Add([]byte{})
+	f.Add(buf.Bytes()[:buf.Len()/2]) // truncated
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever decodes must be safe to verify and walk (Verify
+		// rejects cyclic grammars before Walk could loop forever).
+		if err := w.Verify(); err != nil {
+			return
+		}
+		n := 0
+		w.Walk(func(trace.Event) bool {
+			n++
+			return n < 100000
+		})
+	})
+}

@@ -1,0 +1,113 @@
+package wpp
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// index is the lazily built random-access index over the grammar:
+// expansion lengths per rule and cumulative lengths per rule body, the
+// structure behind O(depth) positional queries on the compressed trace
+// (the direction later formalized as timestamped WPPs).
+type index struct {
+	expLen [][]uint64 // cumulative expansion length after each RHS symbol
+}
+
+func (w *WPP) buildIndex() *index {
+	if w.idx != nil {
+		return w.idx
+	}
+	lens := w.Grammar.ExpandedLen()
+	idx := &index{expLen: make([][]uint64, len(w.Grammar.Rules))}
+	for r, rhs := range w.Grammar.Rules {
+		cum := make([]uint64, len(rhs)+1)
+		for j, s := range rhs {
+			if s.IsRule() {
+				cum[j+1] = cum[j] + lens[s.Rule]
+			} else {
+				cum[j+1] = cum[j] + 1
+			}
+		}
+		idx.expLen[r] = cum
+	}
+	w.idx = idx
+	return idx
+}
+
+// EventAt returns the i-th event (0-based) of the trace without
+// decompressing it, descending the grammar DAG by expansion lengths. The
+// first call builds an index in O(grammar size); subsequent calls cost
+// O(grammar depth x log fanout).
+func (w *WPP) EventAt(i uint64) (trace.Event, error) {
+	if i >= w.Events {
+		return 0, fmt.Errorf("wpp: position %d out of range [0,%d)", i, w.Events)
+	}
+	idx := w.buildIndex()
+	r := int32(0)
+	for {
+		cum := idx.expLen[r]
+		rhs := w.Grammar.Rules[r]
+		// Binary search for the child containing position i.
+		lo, hi := 0, len(rhs)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid+1] > i {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		s := rhs[lo]
+		if !s.IsRule() {
+			return trace.Event(s.Value), nil
+		}
+		i -= cum[lo]
+		r = s.Rule
+	}
+}
+
+// Slice appends the events at positions [from, from+n) to out and returns
+// it, without expanding the rest of the trace.
+func (w *WPP) Slice(from, n uint64, out []trace.Event) ([]trace.Event, error) {
+	if from+n > w.Events || from+n < from {
+		return nil, fmt.Errorf("wpp: range [%d,%d) out of bounds [0,%d)", from, from+n, w.Events)
+	}
+	idx := w.buildIndex()
+	var walk func(r int32, start, count uint64)
+	walk = func(r int32, start, count uint64) {
+		cum := idx.expLen[r]
+		rhs := w.Grammar.Rules[r]
+		lo, hi := 0, len(rhs)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid+1] > start {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		for j := lo; count > 0 && j < len(rhs); j++ {
+			s := rhs[j]
+			if !s.IsRule() {
+				out = append(out, trace.Event(s.Value))
+				count--
+				start = cum[j+1]
+				continue
+			}
+			childStart := start - cum[j]
+			avail := (cum[j+1] - cum[j]) - childStart
+			take := count
+			if take > avail {
+				take = avail
+			}
+			walk(s.Rule, childStart, take)
+			count -= take
+			start = cum[j+1]
+		}
+	}
+	if n > 0 {
+		walk(0, from, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,91 @@
+package wpp
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func queryFixture(t *testing.T) (*WPP, []trace.Event) {
+	t.Helper()
+	return buildWPP(t, loopProgram, 120)
+}
+
+func TestEventAtMatchesWalk(t *testing.T) {
+	w, raw := queryFixture(t)
+	for i, want := range raw {
+		got, err := w.EventAt(uint64(i))
+		if err != nil {
+			t.Fatalf("EventAt(%d): %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("EventAt(%d) = %v, walk says %v", i, got, want)
+		}
+	}
+}
+
+func TestEventAtOutOfRange(t *testing.T) {
+	w, raw := queryFixture(t)
+	if _, err := w.EventAt(uint64(len(raw))); err == nil {
+		t.Fatal("out-of-range position accepted")
+	}
+}
+
+func TestSliceMatchesWalk(t *testing.T) {
+	w, raw := queryFixture(t)
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 100; trial++ {
+		from := rng.Intn(len(raw))
+		n := rng.Intn(len(raw) - from + 1)
+		got, err := w.Slice(uint64(from), uint64(n), nil)
+		if err != nil {
+			t.Fatalf("Slice(%d,%d): %v", from, n, err)
+		}
+		want := raw[from : from+n]
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Slice(%d,%d) mismatch", from, n)
+		}
+	}
+}
+
+func TestSliceFullTrace(t *testing.T) {
+	w, raw := queryFixture(t)
+	got, err := w.Slice(0, w.Events, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, raw) {
+		t.Fatal("full-trace slice mismatch")
+	}
+}
+
+func TestSliceBounds(t *testing.T) {
+	w, _ := queryFixture(t)
+	if _, err := w.Slice(w.Events, 1, nil); err == nil {
+		t.Fatal("out-of-range slice accepted")
+	}
+	if _, err := w.Slice(0, w.Events+1, nil); err == nil {
+		t.Fatal("oversized slice accepted")
+	}
+	got, err := w.Slice(5, 0, nil)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty slice: %v %v", got, err)
+	}
+}
+
+func TestSliceAppendsToBuffer(t *testing.T) {
+	w, raw := queryFixture(t)
+	buf := []trace.Event{trace.MakeEvent(0, 0)}
+	got, err := w.Slice(1, 3, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || !reflect.DeepEqual(got[1:], raw[1:4]) {
+		t.Fatal("Slice did not append")
+	}
+}

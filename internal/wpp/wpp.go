@@ -1,0 +1,393 @@
+// Package wpp implements the whole-program-path representation: a
+// SEQUITUR grammar over the stream of Ball–Larus path events emitted by an
+// instrumented execution (Larus, "Whole Program Paths", PLDI 1999).
+//
+// A WPP is built online: the Builder is handed to the interpreter as its
+// event sink, feeds each event to SEQUITUR as it arrives, and tracks the
+// cost (IR instructions) of each distinct acyclic path so analyses can
+// weight the compressed trace without rerunning the program. The finished
+// WPP is a self-contained artifact: it can be persisted, reloaded, walked
+// (full expansion), and analyzed in compressed form (package hotpath).
+package wpp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/bl"
+	"repro/internal/sequitur"
+	"repro/internal/trace"
+)
+
+// FuncInfo describes one traced function.
+type FuncInfo struct {
+	Name     string
+	NumPaths uint64
+}
+
+// WPP is a finished whole program path.
+type WPP struct {
+	// Funcs is indexed by function ID.
+	Funcs []FuncInfo
+	// Grammar is the SEQUITUR grammar generating the event trace.
+	Grammar *sequitur.Snapshot
+	// Events is the trace length (number of acyclic path events).
+	Events uint64
+	// Instructions is the total number of IR instructions the traced
+	// execution ran.
+	Instructions uint64
+	// costs maps each distinct event to the instruction count of its
+	// acyclic path.
+	costs map[trace.Event]uint64
+	// idx is the lazily built positional index (see query.go).
+	idx *index
+}
+
+// Builder accumulates a WPP online. Its Add method is an interp.Config
+// Sink.
+type Builder struct {
+	grammar *sequitur.Grammar
+	funcs   []FuncInfo
+	nums    []*bl.Numbering
+	events  uint64
+	costs   map[trace.Event]uint64
+}
+
+// NewBuilder returns a builder for a program whose functions have the
+// given Ball–Larus numberings (indexed by function ID, as produced by
+// interp.Machine.Numberings). Numberings supply per-path instruction
+// costs; a nil slice makes every path cost 1.
+func NewBuilder(names []string, nums []*bl.Numbering) *Builder {
+	funcs := make([]FuncInfo, len(names))
+	for i, n := range names {
+		funcs[i] = FuncInfo{Name: n}
+		if nums != nil {
+			funcs[i].NumPaths = nums[i].NumPaths
+		}
+	}
+	return &Builder{
+		grammar: sequitur.New(),
+		funcs:   funcs,
+		nums:    nums,
+		costs:   map[trace.Event]uint64{},
+	}
+}
+
+// Add feeds one path event to the grammar.
+func (b *Builder) Add(e trace.Event) {
+	b.grammar.Append(uint64(e))
+	b.events++
+	if _, seen := b.costs[e]; !seen {
+		cost := uint64(1)
+		if b.nums != nil {
+			w, err := b.nums[e.Func()].PathWeight(e.Path())
+			if err != nil {
+				// An event the numbering cannot regenerate indicates a
+				// corrupted trace; surface loudly rather than mis-cost.
+				panic(fmt.Sprintf("wpp: invalid event %v: %v", e, err))
+			}
+			cost = uint64(w)
+		}
+		b.costs[e] = cost
+	}
+}
+
+// Events reports the number of events consumed so far.
+func (b *Builder) Events() uint64 { return b.events }
+
+// GrammarStats exposes the live grammar size, for growth-curve
+// experiments that sample the builder mid-stream.
+func (b *Builder) GrammarStats() sequitur.Stats { return b.grammar.Stats() }
+
+// Finish seals the WPP. instructions is the total executed instruction
+// count (interp.Stats.Instructions).
+func (b *Builder) Finish(instructions uint64) *WPP {
+	return &WPP{
+		Funcs:        b.funcs,
+		Grammar:      b.grammar.Snapshot(),
+		Events:       b.events,
+		Instructions: instructions,
+		costs:        b.costs,
+	}
+}
+
+// PathCost returns the instruction cost of one event's acyclic path.
+// Unknown events cost 0.
+func (w *WPP) PathCost(e trace.Event) uint64 { return w.costs[e] }
+
+// DistinctPaths reports how many distinct (function, path) pairs were
+// executed.
+func (w *WPP) DistinctPaths() int { return len(w.costs) }
+
+// Walk yields the full event trace in order, stopping early if yield
+// returns false.
+func (w *WPP) Walk(yield func(trace.Event) bool) {
+	if len(w.Grammar.Rules) == 0 {
+		return
+	}
+	w.Grammar.Expand(0, func(v uint64) bool { return yield(trace.Event(v)) })
+}
+
+// Stats summarizes WPP size.
+type Stats struct {
+	Events        uint64
+	Rules         int
+	RHSSymbols    int
+	DistinctPaths int
+	// EncodedBytes is the on-disk size of the whole artifact.
+	EncodedBytes int64
+	// GrammarBytes is the on-disk size of the grammar alone.
+	GrammarBytes int64
+	// RawTraceBytes is the size of the uncompressed varint trace the
+	// grammar replaces.
+	RawTraceBytes int64
+}
+
+// Stats computes size statistics. It expands nothing; raw trace size is
+// reconstructed from the grammar by weighting each rule's terminals with
+// rule use counts.
+func (w *WPP) Stats() Stats {
+	st := Stats{
+		Events:        w.Events,
+		Rules:         len(w.Grammar.Rules),
+		DistinctPaths: len(w.costs),
+		GrammarBytes:  w.Grammar.EncodedSize(),
+		EncodedBytes:  w.EncodedSize(),
+	}
+	for _, rhs := range w.Grammar.Rules {
+		st.RHSSymbols += len(rhs)
+	}
+	st.RawTraceBytes = w.rawTraceBytes()
+	return st
+}
+
+// rawTraceBytes computes the varint-encoded size of the full expansion
+// without materializing it: bytes(rule) summed bottom-up with use counts.
+func (w *WPP) rawTraceBytes() int64 {
+	n := len(w.Grammar.Rules)
+	memo := make([]int64, n)
+	done := make([]bool, n)
+	var visit func(int) int64
+	visit = func(i int) int64 {
+		if done[i] {
+			return memo[i]
+		}
+		var total int64
+		for _, s := range w.Grammar.Rules[i] {
+			if s.IsRule() {
+				total += visit(int(s.Rule))
+			} else {
+				total += int64(uvarintLen(s.Value))
+			}
+		}
+		memo[i] = total
+		done[i] = true
+		return total
+	}
+	if n == 0 {
+		return 4
+	}
+	return 4 + visit(0) // trace magic + payload
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// Verify checks internal consistency: the grammar is well formed and its
+// expansion length equals Events, and every expanded event has a recorded
+// cost and an in-range function ID.
+func (w *WPP) Verify() error {
+	if err := w.Grammar.Validate(); err != nil {
+		return err
+	}
+	lens := w.Grammar.ExpandedLen()
+	if len(lens) > 0 && lens[0] != w.Events {
+		return fmt.Errorf("wpp: grammar expands to %d events, header says %d", lens[0], w.Events)
+	}
+	if len(lens) == 0 && w.Events != 0 {
+		return fmt.Errorf("wpp: empty grammar but %d events", w.Events)
+	}
+	var bad error
+	w.Walk(func(e trace.Event) bool {
+		if int(e.Func()) >= len(w.Funcs) {
+			bad = fmt.Errorf("wpp: event %v references unknown function", e)
+			return false
+		}
+		if _, ok := w.costs[e]; !ok {
+			bad = fmt.Errorf("wpp: event %v has no recorded cost", e)
+			return false
+		}
+		return true
+	})
+	return bad
+}
+
+// Binary layout (all varints except magic and names):
+//
+//	magic "WPP1"
+//	numFuncs, then per func: nameLen, name bytes, numPaths
+//	events, instructions
+//	numCosts, then per entry (sorted by event): event, cost
+//	grammar snapshot (sequitur encoding)
+var wppMagic = [4]byte{'W', 'P', 'P', '1'}
+
+// Encode writes the WPP to w.
+func (w *WPP) Encode(out io.Writer) (int64, error) {
+	bw := bufio.NewWriter(out)
+	var written int64
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		m, err := bw.Write(buf[:n])
+		written += int64(m)
+		return err
+	}
+	n, err := bw.Write(wppMagic[:])
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	if err := put(uint64(len(w.Funcs))); err != nil {
+		return written, err
+	}
+	for _, f := range w.Funcs {
+		if err := put(uint64(len(f.Name))); err != nil {
+			return written, err
+		}
+		m, err := bw.WriteString(f.Name)
+		written += int64(m)
+		if err != nil {
+			return written, err
+		}
+		if err := put(f.NumPaths); err != nil {
+			return written, err
+		}
+	}
+	if err := put(w.Events); err != nil {
+		return written, err
+	}
+	if err := put(w.Instructions); err != nil {
+		return written, err
+	}
+	if err := put(uint64(len(w.costs))); err != nil {
+		return written, err
+	}
+	events := make([]trace.Event, 0, len(w.costs))
+	for e := range w.costs {
+		events = append(events, e)
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i] < events[j] })
+	for _, e := range events {
+		if err := put(uint64(e)); err != nil {
+			return written, err
+		}
+		if err := put(w.costs[e]); err != nil {
+			return written, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return written, err
+	}
+	gn, err := w.Grammar.Encode(out)
+	written += gn
+	return written, err
+}
+
+// EncodedSize returns the byte size Encode would produce.
+func (w *WPP) EncodedSize() int64 {
+	n := int64(4)
+	n += int64(uvarintLen(uint64(len(w.Funcs))))
+	for _, f := range w.Funcs {
+		n += int64(uvarintLen(uint64(len(f.Name)))) + int64(len(f.Name)) + int64(uvarintLen(f.NumPaths))
+	}
+	n += int64(uvarintLen(w.Events)) + int64(uvarintLen(w.Instructions))
+	n += int64(uvarintLen(uint64(len(w.costs))))
+	for e, c := range w.costs {
+		n += int64(uvarintLen(uint64(e))) + int64(uvarintLen(c))
+	}
+	return n + w.Grammar.EncodedSize()
+}
+
+// Decode reads a WPP written by Encode.
+func Decode(r io.Reader) (*WPP, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("wpp: reading magic: %w", err)
+	}
+	if m != wppMagic {
+		return nil, fmt.Errorf("wpp: bad magic %q", m[:])
+	}
+	get := func(what string) (uint64, error) {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("wpp: reading %s: %w", what, err)
+		}
+		return v, nil
+	}
+	numFuncs, err := get("function count")
+	if err != nil {
+		return nil, err
+	}
+	if numFuncs > trace.MaxFuncs {
+		return nil, fmt.Errorf("wpp: implausible function count %d", numFuncs)
+	}
+	w := &WPP{Funcs: make([]FuncInfo, numFuncs), costs: map[trace.Event]uint64{}}
+	for i := range w.Funcs {
+		nameLen, err := get("name length")
+		if err != nil {
+			return nil, err
+		}
+		if nameLen > 1<<16 {
+			return nil, fmt.Errorf("wpp: implausible name length %d", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, fmt.Errorf("wpp: reading name: %w", err)
+		}
+		w.Funcs[i].Name = string(name)
+		if w.Funcs[i].NumPaths, err = get("path count"); err != nil {
+			return nil, err
+		}
+	}
+	if w.Events, err = get("event count"); err != nil {
+		return nil, err
+	}
+	if w.Instructions, err = get("instruction count"); err != nil {
+		return nil, err
+	}
+	numCosts, err := get("cost count")
+	if err != nil {
+		return nil, err
+	}
+	if numCosts > 1<<32 {
+		return nil, fmt.Errorf("wpp: implausible cost count %d", numCosts)
+	}
+	for i := uint64(0); i < numCosts; i++ {
+		e, err := get("cost event")
+		if err != nil {
+			return nil, err
+		}
+		c, err := get("cost value")
+		if err != nil {
+			return nil, err
+		}
+		w.costs[trace.Event(e)] = c
+	}
+	// The grammar reads from the same stream; hand over the buffered
+	// remainder.
+	w.Grammar, err = sequitur.Decode(br)
+	if err != nil {
+		return nil, err
+	}
+	return w, nil
+}

@@ -1,0 +1,78 @@
+package wpp_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/wpp"
+)
+
+// The canonical flow: compile, profile, inspect.
+func ExampleCompile() {
+	prog, err := wpp.Compile(`
+func main(n) {
+    var s = 0;
+    var i = 0;
+    while i < n { s = s + i; i = i + 1; }
+    return s;
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile, err := prog.Profile([]int64{100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("result:", profile.Result)
+	fmt.Println("events:", profile.Events())
+	// Output:
+	// result: 4950
+	// events: 101
+}
+
+// Hot subpaths are found on the compressed trace directly.
+func ExampleProfile_HotSubpaths() {
+	prog, err := wpp.Compile(`
+func main(n) {
+    var s = 0;
+    var i = 0;
+    while i < n { s = s + i * i; i = i + 1; }
+    return s;
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile, err := prog.Profile([]int64{1000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hot, err := profile.HotSubpaths(wpp.HotOptions{MinLen: 2, MaxLen: 4, Threshold: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The loop body repeated is the single dominant subpath.
+	fmt.Println("hot subpaths:", len(hot))
+	fmt.Println("length:", len(hot[0].Paths), "in a loop:", hot[0].LoopDepth >= 1)
+	// Output:
+	// hot subpaths: 1
+	// length: 2 in a loop: true
+}
+
+// Identical runs produce identical whole program paths; different
+// control flow shows up immediately.
+func ExampleProfile_Equal() {
+	prog, err := wpp.Compile(`
+func main(n) {
+    if n % 2 == 0 { return n / 2; }
+    return 3 * n + 1;
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, _ := prog.Profile([]int64{20})
+	b, _ := prog.Profile([]int64{20})
+	c, _ := prog.Profile([]int64{21}) // takes the other branch
+	fmt.Println(a.Equal(b), a.Equal(c))
+	// Output:
+	// true false
+}

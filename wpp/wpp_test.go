@@ -1,0 +1,374 @@
+package wpp
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+const demo = `
+func hot(x) {
+    var s = 0;
+    var i = 0;
+    while i < 10 { s = s + i * x; i = i + 1; }
+    return s;
+}
+func main(n) {
+    var acc = 0;
+    var i = 0;
+    while i < n {
+        acc = (acc + hot(i)) % 1000003;
+        i = i + 1;
+    }
+    return acc;
+}`
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := Compile("func main( {"); err == nil {
+		t.Fatal("syntax error accepted")
+	}
+	if _, err := Compile("func f() { return 0; }"); err == nil {
+		t.Fatal("missing main accepted")
+	}
+}
+
+func TestRunAndProfileAgree(t *testing.T) {
+	p, err := Compile(demo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, stats, err := p.Run([]int64{50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := p.Profile([]int64{50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Result != res {
+		t.Fatalf("profiled result %d != plain result %d", prof.Result, res)
+	}
+	if prof.Stats.Instructions != stats.Instructions {
+		t.Fatalf("instruction counts differ: %d vs %d", prof.Stats.Instructions, stats.Instructions)
+	}
+	if prof.Events() == 0 || prof.Stats.PathEvents != prof.Events() {
+		t.Fatalf("event bookkeeping wrong: %d vs %d", prof.Stats.PathEvents, prof.Events())
+	}
+}
+
+func TestSizeAndFactor(t *testing.T) {
+	p, err := Compile(demo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := p.Profile([]int64{500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sz := prof.Size()
+	if sz.Events == 0 || sz.Rules == 0 || sz.RawTraceBytes == 0 {
+		t.Fatalf("degenerate size %+v", sz)
+	}
+	if sz.Factor() < 5 {
+		t.Fatalf("loopy program compressed only %.2fx: %v", sz.Factor(), sz)
+	}
+	if !strings.Contains(sz.String(), "events=") {
+		t.Fatalf("Size.String = %q", sz.String())
+	}
+}
+
+func TestWalkAndPathBlocks(t *testing.T) {
+	p, err := Compile(demo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := p.Profile([]int64{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	var firstFn string
+	var firstID uint64
+	prof.Walk(func(fn string, pathID uint64) bool {
+		if count == 0 {
+			firstFn, firstID = fn, pathID
+		}
+		count++
+		return true
+	})
+	if uint64(count) != prof.Events() {
+		t.Fatalf("walked %d events, header says %d", count, prof.Events())
+	}
+	blocks, err := prof.PathBlocks(firstFn, firstID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) == 0 {
+		t.Fatal("empty block path")
+	}
+	if _, err := prof.PathBlocks("nope", 0); err == nil {
+		t.Fatal("unknown function accepted")
+	}
+}
+
+func TestHotSubpaths(t *testing.T) {
+	p, err := Compile(demo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := p.Profile([]int64{200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := prof.HotSubpaths(HotOptions{MinLen: 2, MaxLen: 8, Threshold: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hot) == 0 {
+		t.Fatal("hot loop produced no hot subpaths")
+	}
+	if hot[0].Count == 0 || hot[0].Fraction <= 0 {
+		t.Fatalf("degenerate subpath %+v", hot[0])
+	}
+	// The hottest subpath must involve the hot inner loop.
+	joined := strings.Join(hot[0].Paths, " ")
+	if !strings.Contains(joined, "hot:") && !strings.Contains(joined, "main:") {
+		t.Fatalf("unexpected subpath rendering %q", joined)
+	}
+	if s := hot[0].String(); !strings.Contains(s, "cost=") {
+		t.Fatalf("HotSubpath.String = %q", s)
+	}
+	// The hottest subpath of a loop nest must sit inside a loop.
+	if hot[0].LoopDepth < 1 {
+		t.Fatalf("hottest subpath has loop depth %d", hot[0].LoopDepth)
+	}
+	if _, err := prof.HotSubpaths(HotOptions{MinLen: 0, MaxLen: 4, Threshold: 0.1}); err == nil {
+		t.Fatal("invalid options accepted")
+	}
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	p, err := Compile(demo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := p.Profile([]int64{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := prof.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(prof) {
+		t.Fatal("round-tripped profile differs")
+	}
+	if back.Instructions() != prof.Instructions() {
+		t.Fatal("instruction count lost")
+	}
+	// Loaded profiles have no numberings.
+	if _, err := back.PathBlocks("main", 0); err == nil {
+		t.Fatal("expected error for PathBlocks on loaded profile")
+	}
+	// But hot-subpath analysis still works.
+	if _, err := back.HotSubpaths(HotOptions{MinLen: 2, MaxLen: 4, Threshold: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualAndDiff(t *testing.T) {
+	p, err := Compile(demo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Profile([]int64{30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Profile([]int64{30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := p.Profile([]int64{31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("identical runs not Equal")
+	}
+	if i, _, _ := a.Diff(b); i != -1 {
+		t.Fatalf("Diff of identical runs = %d", i)
+	}
+	if a.Equal(c) {
+		t.Fatal("different runs Equal")
+	}
+	i, ea, ec := a.Diff(c)
+	if i < 0 || ea == "" || ec == "" {
+		t.Fatalf("Diff = %d %q %q", i, ea, ec)
+	}
+}
+
+func TestEventAtAndSlice(t *testing.T) {
+	p, err := Compile(demo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := p.Profile([]int64{15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle: the full walk.
+	var walked []string
+	prof.Walk(func(fn string, id uint64) bool {
+		walked = append(walked, fmt.Sprintf("%s:%d", fn, id))
+		return true
+	})
+	for _, i := range []uint64{0, 1, uint64(len(walked) / 2), uint64(len(walked) - 1)} {
+		fn, id, err := prof.EventAt(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fmt.Sprintf("%s:%d", fn, id); got != walked[i] {
+			t.Fatalf("EventAt(%d) = %s, walk says %s", i, got, walked[i])
+		}
+	}
+	if _, _, err := prof.EventAt(prof.Events()); err == nil {
+		t.Fatal("out-of-range EventAt accepted")
+	}
+	mid, err := prof.Slice(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, got := range mid {
+		if got != walked[3+j] {
+			t.Fatalf("Slice[%d] = %s, walk says %s", j, got, walked[3+j])
+		}
+	}
+	if _, err := prof.Slice(prof.Events(), 1); err == nil {
+		t.Fatal("out-of-range Slice accepted")
+	}
+}
+
+func TestCompareSpectra(t *testing.T) {
+	p, err := Compile(`
+func main(n) {
+    var s = 0;
+    var i = 0;
+    while i < n {
+        if i % 2 == 0 { s = s + 1; } else { s = s + 2; }
+        i = i + 1;
+    }
+    return s;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Profile([]int64{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Profile([]int64{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := p.Profile([]int64{50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := a.CompareSpectra(b); len(d) != 0 {
+		t.Fatalf("identical runs have spectrum diff: %+v", d)
+	}
+	d := a.CompareSpectra(c)
+	if len(d) == 0 {
+		t.Fatal("different inputs have identical spectra")
+	}
+	for _, e := range d {
+		if !strings.Contains(e.Path, "main:") {
+			t.Fatalf("unexpected path rendering %q", e.Path)
+		}
+	}
+}
+
+func TestCallTree(t *testing.T) {
+	p, err := Compile(demo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := p.Profile([]int64{25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, edges, err := prof.CallTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Func != "main" {
+		t.Fatalf("root %q", root.Func)
+	}
+	// main calls hot 25 times.
+	if len(edges) != 1 || edges[0].Caller != "main" || edges[0].Callee != "hot" || edges[0].Count != 25 {
+		t.Fatalf("edges = %+v", edges)
+	}
+	if len(root.Children) != 25 {
+		t.Fatalf("main has %d children", len(root.Children))
+	}
+	if prof.Stats.Calls != 26 {
+		t.Fatalf("calls = %d", prof.Stats.Calls)
+	}
+
+	// Loaded profiles cannot reconstruct (no program).
+	var buf bytes.Buffer
+	if _, err := prof.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := loaded.CallTree(); err == nil {
+		t.Fatal("CallTree on loaded profile should fail")
+	}
+}
+
+func TestWithStdoutAndMaxInstrs(t *testing.T) {
+	p, err := Compile(`func main() { print 7; return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if _, _, err := p.Run(nil, WithStdout(&out)); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "7\n" {
+		t.Fatalf("stdout %q", out.String())
+	}
+	loop, err := Compile(`func main() { var i = 0; while i >= 0 { i = i + 1; } return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := loop.Run(nil, WithMaxInstrs(5000)); err == nil {
+		t.Fatal("runaway run not aborted")
+	}
+	if _, err := loop.Profile(nil, WithMaxInstrs(5000)); err == nil {
+		t.Fatal("runaway profile not aborted")
+	}
+}
+
+func TestFunctionsAndDisassemble(t *testing.T) {
+	p, err := Compile(demo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns := p.Functions()
+	if len(fns) != 2 || fns[0] != "hot" || fns[1] != "main" {
+		t.Fatalf("Functions = %v", fns)
+	}
+	if !strings.Contains(p.Disassemble(), "func main") {
+		t.Fatal("disassembly missing main")
+	}
+}
