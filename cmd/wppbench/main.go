@@ -18,9 +18,10 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment IDs (e1..e6,a1,a2) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment IDs (e1..e6,a1..a6,p1) or 'all'")
 	scaleFlag := flag.String("scale", "medium", "workload scale (small|medium|large)")
 	reps := flag.Int("reps", 3, "repetitions for timing experiments (best-of)")
+	workers := flag.Int("workers", 0, "worker count for the p1 parallel-scaling experiment (0 = all cores)")
 	flag.Parse()
 
 	scale, err := experiments.ParseScale(*scaleFlag)
@@ -29,7 +30,7 @@ func main() {
 	}
 	want := map[string]bool{}
 	if *expFlag == "all" {
-		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "a1", "a2", "a3", "a4", "a5", "a6"} {
+		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "a1", "a2", "a3", "a4", "a5", "a6", "p1"} {
 			want[id] = true
 		}
 	} else {
@@ -94,6 +95,10 @@ func main() {
 	}
 	if want["a6"] {
 		_, tbl, err := experiments.A6(scale, workloads.Names())
+		show(tbl, err)
+	}
+	if want["p1"] {
+		_, tbl, err := experiments.P1(scale, []string{"compress", "expr", "sim", "sort"}, 4096, *workers, *reps)
 		show(tbl, err)
 	}
 }

@@ -1,5 +1,5 @@
-// wppbuild produces a whole-program-path (.wpp) artifact, either by
-// running a program under instrumentation with online compression, or by
+// wppbuild produces a whole-program-path artifact, either by running a
+// program under instrumentation with online compression, or by
 // compressing an existing raw trace written by wpptrace.
 //
 // Usage:
@@ -7,6 +7,13 @@
 //	wppbuild -o out.wpp program.wl [arg ...]      # run + compress online
 //	wppbuild -o out.wpp -workload expr -scale medium
 //	wppbuild -o out.wpp -trace trace.wpt          # compress a raw trace
+//	wppbuild -o out.wpp -chunk 65536 -workers 8 program.wl [arg ...]
+//
+// With -chunk N > 0 the stream is cut into N-event chunks compressed by
+// the parallel pipeline on -workers goroutines (default: all cores),
+// producing a chunked artifact (magic "WPC1", readable by wpphot and
+// wppstats). The artifact is byte-identical for every worker count.
+// Without -chunk the classic monolithic artifact ("WPP1") is written.
 //
 // Building from a raw trace loses per-path instruction costs (the trace
 // format does not carry them); analyses then weight every path equally.
@@ -19,6 +26,7 @@ import (
 	"os"
 	"strconv"
 
+	"repro/internal/bl"
 	"repro/internal/experiments"
 	"repro/internal/interp"
 	"repro/internal/trace"
@@ -32,17 +40,30 @@ func main() {
 	traceFile := flag.String("trace", "", "build from a raw trace file instead of running a program")
 	workload := flag.String("workload", "", "build from a built-in workload")
 	scaleFlag := flag.String("scale", "small", "workload scale (small|medium|large)")
+	chunk := flag.Uint64("chunk", 0, "chunk size in events; >0 builds a chunked artifact with the parallel pipeline")
+	workers := flag.Int("workers", 0, "parallel compression workers for -chunk (0 = all cores)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: wppbuild -o out.wpp (program.wl [arg ...] | -workload name [-scale s] | -trace in.wpt)\n")
+		fmt.Fprintf(os.Stderr, "usage: wppbuild -o out.wpp [-chunk n -workers w] (program.wl [arg ...] | -workload name [-scale s] | -trace in.wpt)\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
-	var w *iwpp.WPP
+	// sink is the event consumer: a monolithic or a parallel chunked
+	// builder, chosen by -chunk.
+	newSink := func(names []string, nums []*bl.Numbering) (func(trace.Event), func(uint64) artifact) {
+		if *chunk > 0 {
+			b := iwpp.NewParallelChunkedBuilder(names, nums, *chunk, iwpp.ParallelOptions{Workers: *workers})
+			return b.Add, func(instrs uint64) artifact { return chunkedArtifact{b.Finish(instrs)} }
+		}
+		b := iwpp.NewBuilder(names, nums)
+		return b.Add, func(instrs uint64) artifact { return monoArtifact{b.Finish(instrs)} }
+	}
+
+	var a artifact
 	var err error
 	switch {
 	case *traceFile != "":
-		w, err = fromTrace(*traceFile)
+		a, err = fromTrace(*traceFile, newSink)
 	case *workload != "":
 		wl, werr := workloads.ByName(*workload)
 		if werr != nil {
@@ -52,21 +73,21 @@ func main() {
 		if serr != nil {
 			fatal(serr)
 		}
-		w, err = fromSource(wl.Source, []int64{scale.Arg(wl)})
+		a, err = fromSource(wl.Source, []int64{scale.Arg(wl)}, newSink)
 	case flag.NArg() >= 1:
 		data, rerr := os.ReadFile(flag.Arg(0))
 		if rerr != nil {
 			fatal(rerr)
 		}
 		var args []int64
-		for _, a := range flag.Args()[1:] {
-			v, perr := strconv.ParseInt(a, 10, 64)
+		for _, s := range flag.Args()[1:] {
+			v, perr := strconv.ParseInt(s, 10, 64)
 			if perr != nil {
-				fatal(fmt.Errorf("bad argument %q: %w", a, perr))
+				fatal(fmt.Errorf("bad argument %q: %w", s, perr))
 			}
 			args = append(args, v)
 		}
-		w, err = fromSource(string(data), args)
+		a, err = fromSource(string(data), args, newSink)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -79,25 +100,50 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	n, err := w.Encode(f)
+	n, err := a.encode(f)
 	if err != nil {
 		fatal(err)
 	}
 	if err := f.Close(); err != nil {
 		fatal(err)
 	}
-	st := w.Stats()
-	fmt.Printf("events: %d\nrules: %d\nrhs symbols: %d\nraw trace bytes: %d\nwpp bytes: %d (%.1fx)\n-> %s\n",
-		st.Events, st.Rules, st.RHSSymbols, st.RawTraceBytes, n, float64(st.RawTraceBytes)/float64(n), *out)
+	a.report(n, *out)
 }
 
-func fromSource(source string, args []int64) (*iwpp.WPP, error) {
+// artifact abstracts over the two encodings so the build paths stay
+// shared.
+type artifact interface {
+	encode(w io.Writer) (int64, error)
+	report(written int64, path string)
+}
+
+type monoArtifact struct{ w *iwpp.WPP }
+
+func (a monoArtifact) encode(w io.Writer) (int64, error) { return a.w.Encode(w) }
+func (a monoArtifact) report(n int64, path string) {
+	st := a.w.Stats()
+	fmt.Printf("events: %d\nrules: %d\nrhs symbols: %d\nraw trace bytes: %d\nwpp bytes: %d (%.1fx)\n-> %s\n",
+		st.Events, st.Rules, st.RHSSymbols, st.RawTraceBytes, n, float64(st.RawTraceBytes)/float64(n), path)
+}
+
+type chunkedArtifact struct{ c *iwpp.ChunkedWPP }
+
+func (a chunkedArtifact) encode(w io.Writer) (int64, error) { return a.c.Encode(w) }
+func (a chunkedArtifact) report(n int64, path string) {
+	st := a.c.Stats()
+	fmt.Printf("events: %d\nchunks: %d (size %d)\nrules: %d\nrhs symbols: %d\npeak live symbols: %d\nwpc bytes: %d\n-> %s\n",
+		st.Events, st.Chunks, a.c.ChunkSize, st.Rules, st.RHSSymbols, st.PeakLiveRHS, n, path)
+}
+
+type sinkFactory func(names []string, nums []*bl.Numbering) (func(trace.Event), func(uint64) artifact)
+
+func fromSource(source string, args []int64, newSink sinkFactory) (artifact, error) {
 	prog, err := wlc.Compile(source)
 	if err != nil {
 		return nil, err
 	}
-	var b *iwpp.Builder
-	m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: func(e trace.Event) { b.Add(e) }})
+	var add func(trace.Event)
+	m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: func(e trace.Event) { add(e) }})
 	if err != nil {
 		return nil, err
 	}
@@ -105,14 +151,14 @@ func fromSource(source string, args []int64) (*iwpp.WPP, error) {
 	for i, fn := range prog.Funcs {
 		names[i] = fn.Name
 	}
-	b = iwpp.NewBuilder(names, m.Numberings())
+	add, finish := newSink(names, m.Numberings())
 	if _, err := m.Run("main", args...); err != nil {
 		return nil, err
 	}
-	return b.Finish(m.Stats().Instructions), nil
+	return finish(m.Stats().Instructions), nil
 }
 
-func fromTrace(path string) (*iwpp.WPP, error) {
+func fromTrace(path string, newSink sinkFactory) (artifact, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -124,7 +170,7 @@ func fromTrace(path string) (*iwpp.WPP, error) {
 	}
 	// Function IDs are discovered from the events; names are synthetic.
 	maxFn := uint32(0)
-	b := iwpp.NewBuilder(nil, nil)
+	add, finish := newSink(nil, nil)
 	var events uint64
 	for {
 		e, err := tr.Read()
@@ -137,16 +183,21 @@ func fromTrace(path string) (*iwpp.WPP, error) {
 		if e.Func() > maxFn {
 			maxFn = e.Func()
 		}
-		b.Add(e)
+		add(e)
 		events++
 	}
-	w := b.Finish(events) // cost 1 per event
+	a := finish(events) // cost 1 per event
 	names := make([]iwpp.FuncInfo, maxFn+1)
 	for i := range names {
 		names[i] = iwpp.FuncInfo{Name: fmt.Sprintf("f%d", i)}
 	}
-	w.Funcs = names
-	return w, nil
+	switch t := a.(type) {
+	case monoArtifact:
+		t.w.Funcs = names
+	case chunkedArtifact:
+		t.c.Funcs = names
+	}
+	return a, nil
 }
 
 func fatal(err error) {

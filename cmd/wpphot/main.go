@@ -1,9 +1,12 @@
 // wpphot reports the minimal hot subpaths of a .wpp artifact, analyzing
-// the compressed grammar directly.
+// the compressed grammar directly. Both artifact kinds are accepted:
+// monolithic ("WPP1") and chunked ("WPC1", written by wppbuild -chunk).
+// Chunked artifacts are analyzed per chunk on -workers goroutines; the
+// answers are identical to the monolithic analysis of the same trace.
 //
 // Usage:
 //
-//	wpphot [-min 4] [-max 16] [-threshold 0.01] [-top 20] [-scan] file.wpp
+//	wpphot [-min 4] [-max 16] [-threshold 0.01] [-top 20] [-scan] [-workers 0] file.wpp
 package main
 
 import (
@@ -13,6 +16,7 @@ import (
 	"strings"
 
 	"repro/internal/hotpath"
+	"repro/internal/trace"
 	iwpp "repro/internal/wpp"
 )
 
@@ -21,7 +25,8 @@ func main() {
 	maxLen := flag.Int("max", 16, "maximum subpath length")
 	threshold := flag.Float64("threshold", 0.01, "hotness threshold as a fraction of total cost")
 	top := flag.Int("top", 20, "print at most this many subpaths")
-	scan := flag.Bool("scan", false, "use the decompress-and-scan baseline instead of the grammar analysis")
+	scan := flag.Bool("scan", false, "use the decompress-and-scan baseline instead of the grammar analysis (monolithic artifacts only)")
+	workers := flag.Int("workers", 0, "concurrency for per-chunk analysis of chunked artifacts (0 = all cores)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: wpphot [flags] file.wpp\n")
 		flag.PrintDefaults()
@@ -36,21 +41,33 @@ func main() {
 		fatal(err)
 	}
 	defer f.Close()
-	w, err := iwpp.Decode(f)
+	w, cw, err := iwpp.DecodeAny(f)
 	if err != nil {
 		fatal(err)
 	}
 	opts := hotpath.Options{MinLen: *minLen, MaxLen: *maxLen, Threshold: *threshold}
-	find := hotpath.Find
-	if *scan {
-		find = hotpath.FindByScan
+	var subs []hotpath.Subpath
+	var funcs []iwpp.FuncInfo
+	var instrs uint64
+	if cw != nil {
+		if *scan {
+			fatal(fmt.Errorf("-scan supports only monolithic artifacts"))
+		}
+		subs, err = hotpath.FindChunked(cw, opts, *workers)
+		funcs, instrs = cw.Funcs, cw.Instructions
+	} else {
+		find := hotpath.Find
+		if *scan {
+			find = hotpath.FindByScan
+		}
+		subs, err = find(w, opts)
+		funcs, instrs = w.Funcs, w.Instructions
 	}
-	subs, err := find(w, opts)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("%d minimal hot subpaths (len %d..%d, threshold %.3f, total cost %d)\n",
-		len(subs), *minLen, *maxLen, *threshold, w.Instructions)
+		len(subs), *minLen, *maxLen, *threshold, instrs)
 	for i, s := range subs {
 		if i >= *top {
 			fmt.Printf("... %d more\n", len(subs)-i)
@@ -58,15 +75,19 @@ func main() {
 		}
 		parts := make([]string, len(s.Events))
 		for j, e := range s.Events {
-			name := fmt.Sprintf("f%d", e.Func())
-			if int(e.Func()) < len(w.Funcs) {
-				name = w.Funcs[e.Func()].Name
-			}
-			parts[j] = fmt.Sprintf("%s:%d", name, e.Path())
+			parts[j] = renderEvent(funcs, e)
 		}
 		fmt.Printf("%3d. [%s] x%d cost=%d (%.2f%%)\n", i+1, strings.Join(parts, " "), s.Count, s.Cost, s.Fraction*100)
 	}
 	fmt.Printf("coverage (sum of fractions): %.2f\n", hotpath.Coverage(subs))
+}
+
+func renderEvent(funcs []iwpp.FuncInfo, e trace.Event) string {
+	name := fmt.Sprintf("f%d", e.Func())
+	if int(e.Func()) < len(funcs) {
+		name = funcs[e.Func()].Name
+	}
+	return fmt.Sprintf("%s:%d", name, e.Path())
 }
 
 func fatal(err error) {

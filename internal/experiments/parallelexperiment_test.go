@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestP1(t *testing.T) {
+	rows, tbl, err := P1(Small, []string{"compress", "sort"}, 256, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Events == 0 || r.Chunks == 0 {
+			t.Errorf("%s: degenerate row %+v", r.Name, r)
+		}
+		if r.Build1 <= 0 || r.BuildN <= 0 || r.Find1 <= 0 || r.FindN <= 0 {
+			t.Errorf("%s: non-positive timing %+v", r.Name, r)
+		}
+		if r.Speedup <= 0 {
+			t.Errorf("%s: speedup %f", r.Name, r.Speedup)
+		}
+	}
+	if !strings.Contains(tbl.String(), "compress") {
+		t.Fatalf("table missing workload rows:\n%s", tbl.String())
+	}
+	t.Log("\n" + tbl.String())
+}

@@ -1,0 +1,189 @@
+package hotpath
+
+import (
+	"encoding/binary"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/trace"
+	"repro/internal/wpp"
+)
+
+// This file runs the hotpath analyses on chunked WPPs, parallelizing the
+// per-chunk work across a bounded worker pool. Every function here is an
+// exact equivalent of its monolithic counterpart: a window of the full
+// trace either lies entirely inside one chunk — counted on that chunk's
+// grammar, in compressed form — or it crosses a chunk boundary and is
+// counted once, attributed to the chunk containing its start position,
+// from materialized boundary regions of at most MaxLen-1 events per side.
+// Merging is by summation, so worker scheduling cannot change any count.
+
+func normWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// forEachChunk runs fn(i) for every chunk index on `workers` goroutines.
+// fn must only write state owned by index i.
+func forEachChunk(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ChunkedEventFrequencies returns the execution count of every distinct
+// event, computed per chunk in compressed form on `workers` goroutines
+// (<=0 means GOMAXPROCS) and merged. It matches EventFrequencies on a
+// monolithic WPP over the same stream exactly.
+func ChunkedEventFrequencies(c *wpp.ChunkedWPP, workers int) map[trace.Event]uint64 {
+	per := make([]map[trace.Event]uint64, len(c.Chunks))
+	forEachChunk(len(c.Chunks), normWorkers(workers), func(i int) {
+		a := newAnalysis(c.Chunks[i])
+		m := make(map[trace.Event]uint64)
+		for r, rhs := range a.snap.Rules {
+			uses := a.uses[r]
+			for _, s := range rhs {
+				if !s.IsRule() {
+					m[trace.Event(s.Value)] += uses
+				}
+			}
+		}
+		per[i] = m
+	})
+	freqs := make(map[trace.Event]uint64)
+	for _, m := range per {
+		for e, n := range m {
+			freqs[e] += n
+		}
+	}
+	return freqs
+}
+
+// chunkWindows is the per-chunk portion of the hot-subpath scan: window
+// counts for every length, plus the chunk's boundary regions.
+type chunkWindows struct {
+	length uint64              // expanded length of the chunk
+	counts []map[string]uint64 // counts[l-minLen]: windows fully inside the chunk
+	head   []uint64            // first min(length, maxLen-1) events
+	tail   []uint64            // last min(length, maxLen-1) events
+}
+
+// FindChunked locates the same minimal hot subpaths as Find would on a
+// monolithic WPP of the identical event stream, analyzing a chunked WPP
+// with per-chunk passes on `workers` goroutines (<=0 means GOMAXPROCS).
+func FindChunked(c *wpp.ChunkedWPP, opts Options, workers int) ([]Subpath, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	nl := opts.MaxLen - opts.MinLen + 1
+	per := make([]*chunkWindows, len(c.Chunks))
+	edge := opts.MaxLen - 1 // boundary-region width per side
+
+	forEachChunk(len(c.Chunks), normWorkers(workers), func(i int) {
+		a := newAnalysis(c.Chunks[i])
+		cw := &chunkWindows{counts: make([]map[string]uint64, nl)}
+		if len(a.expLen) > 0 {
+			cw.length = a.expLen[0]
+		}
+		for l := opts.MinLen; l <= opts.MaxLen; l++ {
+			m := make(map[string]uint64)
+			a.countWindows(l, m)
+			cw.counts[l-opts.MinLen] = m
+		}
+		k := uint64(edge)
+		if k > cw.length {
+			k = cw.length
+		}
+		if k > 0 {
+			cw.head = a.collect(0, 0, k, nil)
+			cw.tail = a.collect(0, cw.length-k, k, nil)
+		}
+		per[i] = cw
+	})
+
+	hot := map[string]bool{}
+	var result []Subpath
+	merged := make(map[string]uint64)
+	for l := opts.MinLen; l <= opts.MaxLen; l++ {
+		clear(merged)
+		for _, cw := range per {
+			for k, n := range cw.counts[l-opts.MinLen] {
+				merged[k] += n
+			}
+		}
+		countCrossing(per, l, merged)
+		result = harvest(merged, l, opts, hot, result, c.PathCost, c.Instructions)
+	}
+	sortSubpaths(result)
+	return result, nil
+}
+
+// countCrossing adds, for every chunk i, the windows of length l that
+// start inside chunk i but extend past its end. Each crossing window's
+// start position lies in exactly one chunk, so each occurrence is counted
+// exactly once, with weight 1 (boundary regions are raw positions, not
+// grammar-weighted).
+func countCrossing(per []*chunkWindows, l int, counts map[string]uint64) {
+	if l < 2 {
+		return // a 1-window cannot cross a boundary
+	}
+	key := make([]byte, 0, l*8)
+	stream := make([]uint64, 0, 2*l)
+	for i, cw := range per {
+		t := uint64(len(cw.tail)) // tail covers all crossing start positions: t >= min(length, l-1)
+		if cw.length == 0 {
+			continue
+		}
+		// stream = tail of chunk i ++ up to l-1 following events.
+		stream = append(stream[:0], cw.tail...)
+		need := l - 1
+		for j := i + 1; j < len(per) && need > 0; j++ {
+			h := per[j].head
+			if len(h) > need {
+				h = h[:need]
+			}
+			stream = append(stream, h...)
+			need -= len(h)
+		}
+		// Window starts at stream index s, crossing iff it extends past
+		// the chunk end (s+l > t) while starting inside it (s < t).
+		for s := uint64(0); s < t; s++ {
+			if s+uint64(l) <= t {
+				continue // fully inside chunk i: already grammar-counted
+			}
+			if s+uint64(l) > uint64(len(stream)) {
+				break // runs past the end of the trace
+			}
+			key = key[:0]
+			for _, v := range stream[s : s+uint64(l)] {
+				key = binary.BigEndian.AppendUint64(key, v)
+			}
+			counts[string(key)]++
+		}
+	}
+}

@@ -12,7 +12,7 @@ import (
 // each terminal occurrence in a rule body contributes the rule's
 // derivation-tree use count.
 func EventFrequencies(w *wpp.WPP) map[trace.Event]uint64 {
-	a := newAnalysis(w)
+	a := newAnalysis(w.Grammar)
 	freqs := make(map[trace.Event]uint64)
 	for r, rhs := range a.snap.Rules {
 		uses := a.uses[r]

@@ -69,14 +69,14 @@ func Find(w *wpp.WPP, opts Options) ([]Subpath, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	a := newAnalysis(w)
+	a := newAnalysis(w.Grammar)
 	counts := make(map[string]uint64)
 	hot := map[string]bool{}
 	var result []Subpath
 	for l := opts.MinLen; l <= opts.MaxLen; l++ {
 		clear(counts)
 		a.countWindows(l, counts)
-		result = a.harvest(counts, l, opts, hot, result)
+		result = harvest(counts, l, opts, hot, result, w.PathCost, w.Instructions)
 	}
 	sortSubpaths(result)
 	return result, nil
@@ -90,7 +90,6 @@ func FindByScan(w *wpp.WPP, opts Options) ([]Subpath, error) {
 	}
 	var events []trace.Event
 	w.Walk(func(e trace.Event) bool { events = append(events, e); return true })
-	a := newAnalysis(w)
 	counts := make(map[string]uint64)
 	hot := map[string]bool{}
 	var result []Subpath
@@ -104,23 +103,23 @@ func FindByScan(w *wpp.WPP, opts Options) ([]Subpath, error) {
 			}
 			counts[string(key)]++
 		}
-		result = a.harvest(counts, l, opts, hot, result)
+		result = harvest(counts, l, opts, hot, result, w.PathCost, w.Instructions)
 	}
 	sortSubpaths(result)
 	return result, nil
 }
 
-// analysis caches per-WPP derived data shared by window counting.
+// analysis caches per-grammar derived data shared by window counting. It
+// is built per snapshot, so chunked analyses construct one per chunk.
 type analysis struct {
-	w       *wpp.WPP
 	snap    *sequitur.Snapshot
 	expLen  []uint64   // expansion length per rule
 	uses    []uint64   // occurrences of each rule in the derivation tree
 	cumLens [][]uint64 // per rule: cumulative expansion length after each RHS symbol
 }
 
-func newAnalysis(w *wpp.WPP) *analysis {
-	a := &analysis{w: w, snap: w.Grammar}
+func newAnalysis(snap *sequitur.Snapshot) *analysis {
+	a := &analysis{snap: snap}
 	n := len(a.snap.Rules)
 	a.expLen = a.snap.ExpandedLen()
 	a.uses = make([]uint64, n)
@@ -287,9 +286,9 @@ func (a *analysis) countWindows(l int, counts map[string]uint64) {
 }
 
 // harvest converts this length's window counts into subpaths, marks hot
-// windows, and appends the minimal ones to result.
-func (a *analysis) harvest(counts map[string]uint64, l int, opts Options, hot map[string]bool, result []Subpath) []Subpath {
-	total := a.w.Instructions
+// windows, and appends the minimal ones to result. costOf and total
+// supply the cost model (a WPP's or a ChunkedWPP's).
+func harvest(counts map[string]uint64, l int, opts Options, hot map[string]bool, result []Subpath, costOf func(trace.Event) uint64, total uint64) []Subpath {
 	if total == 0 {
 		return result
 	}
@@ -297,7 +296,7 @@ func (a *analysis) harvest(counts map[string]uint64, l int, opts Options, hot ma
 		events := decodeKey(key)
 		var unit uint64
 		for _, e := range events {
-			unit += a.w.PathCost(e)
+			unit += costOf(e)
 		}
 		cost := unit * count
 		frac := float64(cost) / float64(total)

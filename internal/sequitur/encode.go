@@ -80,9 +80,14 @@ func uvarintLen(v uint64) int {
 	return n
 }
 
-// Decode reads a snapshot written by Encode.
+// Decode reads a snapshot written by Encode. When r is already a
+// *bufio.Reader it is used directly (no read-ahead is lost), so multiple
+// snapshots can be decoded back to back from one stream.
 func Decode(r io.Reader) (*Snapshot, error) {
-	br := bufio.NewReader(r)
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
 	var m [4]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
 		return nil, fmt.Errorf("sequitur: reading magic: %w", err)
@@ -98,14 +103,19 @@ func Decode(r io.Reader) (*Snapshot, error) {
 	if numRules > maxRules {
 		return nil, fmt.Errorf("sequitur: implausible rule count %d", numRules)
 	}
-	sn := &Snapshot{Rules: make([][]Sym, numRules)}
-	for i := range sn.Rules {
+	sn := &Snapshot{Rules: make([][]Sym, 0, min(numRules, 1<<16))}
+	for i := 0; i < int(numRules); i++ {
 		rhsLen, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, fmt.Errorf("sequitur: rule %d: reading length: %w", i, err)
 		}
-		rhs := make([]Sym, rhsLen)
-		for j := range rhs {
+		if rhsLen > maxRules {
+			return nil, fmt.Errorf("sequitur: rule %d: implausible length %d", i, rhsLen)
+		}
+		// Grow incrementally: every symbol costs at least one input byte,
+		// so a corrupt length fails at EOF instead of allocating it all.
+		rhs := make([]Sym, 0, min(rhsLen, 1<<16))
+		for j := uint64(0); j < rhsLen; j++ {
 			v, err := binary.ReadUvarint(br)
 			if err != nil {
 				return nil, fmt.Errorf("sequitur: rule %d sym %d: %w", i, j, err)
@@ -115,12 +125,12 @@ func Decode(r io.Reader) (*Snapshot, error) {
 				if ri >= numRules {
 					return nil, fmt.Errorf("sequitur: rule %d sym %d: rule reference %d out of range", i, j, ri)
 				}
-				rhs[j] = Sym{Rule: int32(ri)}
+				rhs = append(rhs, Sym{Rule: int32(ri)})
 			} else {
-				rhs[j] = Sym{Rule: -1, Value: v >> 1}
+				rhs = append(rhs, Sym{Rule: -1, Value: v >> 1})
 			}
 		}
-		sn.Rules[i] = rhs
+		sn.Rules = append(sn.Rules, rhs)
 	}
 	return sn, nil
 }

@@ -117,6 +117,21 @@ func NewWithOptions(opts Options) *Grammar {
 	return g
 }
 
+// Reset returns the grammar to its freshly constructed state, keeping the
+// digram index's allocated capacity. A reset grammar is algorithmically
+// indistinguishable from New(): feeding it the same terminals yields an
+// identical Snapshot, because the index is only ever used for point
+// lookups, never iterated. Worker pools reuse one grammar per worker
+// across many chunk compressions to avoid re-growing the index map.
+func (g *Grammar) Reset() {
+	clear(g.index)
+	g.nextID = 1
+	g.start = newRule(0)
+	g.liveRules = 1
+	g.rhsSymbols = 0
+	g.terminals = 0
+}
+
 // Append feeds one terminal to the grammar. It panics if v >= MaxTerminal.
 func (g *Grammar) Append(v uint64) {
 	if v >= MaxTerminal {

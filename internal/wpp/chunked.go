@@ -2,6 +2,9 @@ package wpp
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/bl"
 	"repro/internal/sequitur"
@@ -162,18 +165,60 @@ func (c *ChunkedWPP) Stats() ChunkedStats {
 	return st
 }
 
+// PathCost returns the instruction cost of one event's acyclic path.
+// Unknown events cost 0.
+func (c *ChunkedWPP) PathCost(e trace.Event) uint64 { return c.costs[e] }
+
+// DistinctPaths reports how many distinct (function, path) pairs were
+// executed.
+func (c *ChunkedWPP) DistinctPaths() int { return len(c.costs) }
+
 // Verify checks that every chunk is well formed and the expansion lengths
-// add up to Events.
-func (c *ChunkedWPP) Verify() error {
+// add up to Events. It is VerifyParallel(1).
+func (c *ChunkedWPP) Verify() error { return c.VerifyParallel(1) }
+
+// VerifyParallel runs the per-chunk validation on the given number of
+// goroutines (<=0 means runtime.GOMAXPROCS(0)). The result is
+// deterministic: the error reported is always the one for the
+// lowest-indexed bad chunk, whatever the schedule.
+func (c *ChunkedWPP) VerifyParallel(workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(c.Chunks) {
+		workers = len(c.Chunks)
+	}
+	errs := make([]error, len(c.Chunks))
+	lens := make([]uint64, len(c.Chunks))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(c.Chunks) {
+					return
+				}
+				ch := c.Chunks[i]
+				if err := ch.Validate(); err != nil {
+					errs[i] = fmt.Errorf("wpp: chunk %d: %w", i, err)
+					continue
+				}
+				if el := ch.ExpandedLen(); len(el) > 0 {
+					lens[i] = el[0]
+				}
+			}
+		}()
+	}
+	wg.Wait()
 	var total uint64
-	for i, ch := range c.Chunks {
-		if err := ch.Validate(); err != nil {
-			return fmt.Errorf("wpp: chunk %d: %w", i, err)
+	for i := range errs {
+		if errs[i] != nil {
+			return errs[i]
 		}
-		lens := ch.ExpandedLen()
-		if len(lens) > 0 {
-			total += lens[0]
-		}
+		total += lens[i]
 	}
 	if total != c.Events {
 		return fmt.Errorf("wpp: chunks expand to %d events, header says %d", total, c.Events)

@@ -1,0 +1,215 @@
+package wpp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sequitur"
+	"repro/internal/trace"
+)
+
+// Binary layout of a chunked WPP (all varints except magic and names):
+//
+//	magic "WPC1"
+//	numFuncs, then per func: nameLen, name bytes, numPaths
+//	chunkSize, events, instructions, peakLiveRHS
+//	numCosts, then per entry (sorted by event): event, cost
+//	numChunks, then each chunk as a sequitur snapshot encoding
+var chunkedMagic = [4]byte{'W', 'P', 'C', '1'}
+
+// Encode writes the chunked WPP to out. The encoding is a deterministic
+// function of the artifact, so equal artifacts serialize byte-identically.
+func (c *ChunkedWPP) Encode(out io.Writer) (int64, error) {
+	bw := bufio.NewWriter(out)
+	var written int64
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		m, err := bw.Write(buf[:n])
+		written += int64(m)
+		return err
+	}
+	n, err := bw.Write(chunkedMagic[:])
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	if err := put(uint64(len(c.Funcs))); err != nil {
+		return written, err
+	}
+	for _, f := range c.Funcs {
+		if err := put(uint64(len(f.Name))); err != nil {
+			return written, err
+		}
+		m, err := bw.WriteString(f.Name)
+		written += int64(m)
+		if err != nil {
+			return written, err
+		}
+		if err := put(f.NumPaths); err != nil {
+			return written, err
+		}
+	}
+	for _, v := range []uint64{c.ChunkSize, c.Events, c.Instructions, uint64(c.PeakLiveRHS)} {
+		if err := put(v); err != nil {
+			return written, err
+		}
+	}
+	if err := put(uint64(len(c.costs))); err != nil {
+		return written, err
+	}
+	events := make([]trace.Event, 0, len(c.costs))
+	for e := range c.costs {
+		events = append(events, e)
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i] < events[j] })
+	for _, e := range events {
+		if err := put(uint64(e)); err != nil {
+			return written, err
+		}
+		if err := put(c.costs[e]); err != nil {
+			return written, err
+		}
+	}
+	if err := put(uint64(len(c.Chunks))); err != nil {
+		return written, err
+	}
+	if err := bw.Flush(); err != nil {
+		return written, err
+	}
+	for _, ch := range c.Chunks {
+		gn, err := ch.Encode(out)
+		written += gn
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// DecodeChunked reads a chunked WPP written by Encode.
+func DecodeChunked(r io.Reader) (*ChunkedWPP, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("wpp: reading magic: %w", err)
+	}
+	if m != chunkedMagic {
+		return nil, fmt.Errorf("wpp: bad magic %q", m[:])
+	}
+	return decodeChunkedBody(br)
+}
+
+func decodeChunkedBody(br *bufio.Reader) (*ChunkedWPP, error) {
+	get := func(what string) (uint64, error) {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("wpp: reading %s: %w", what, err)
+		}
+		return v, nil
+	}
+	numFuncs, err := get("function count")
+	if err != nil {
+		return nil, err
+	}
+	if numFuncs > trace.MaxFuncs {
+		return nil, fmt.Errorf("wpp: implausible function count %d", numFuncs)
+	}
+	c := &ChunkedWPP{Funcs: make([]FuncInfo, numFuncs), costs: map[trace.Event]uint64{}}
+	for i := range c.Funcs {
+		nameLen, err := get("name length")
+		if err != nil {
+			return nil, err
+		}
+		if nameLen > 1<<16 {
+			return nil, fmt.Errorf("wpp: implausible name length %d", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, fmt.Errorf("wpp: reading name: %w", err)
+		}
+		c.Funcs[i].Name = string(name)
+		if c.Funcs[i].NumPaths, err = get("path count"); err != nil {
+			return nil, err
+		}
+	}
+	if c.ChunkSize, err = get("chunk size"); err != nil {
+		return nil, err
+	}
+	if c.ChunkSize == 0 {
+		return nil, fmt.Errorf("wpp: chunk size 0")
+	}
+	if c.Events, err = get("event count"); err != nil {
+		return nil, err
+	}
+	if c.Instructions, err = get("instruction count"); err != nil {
+		return nil, err
+	}
+	peak, err := get("peak live RHS")
+	if err != nil {
+		return nil, err
+	}
+	if peak > 1<<40 {
+		return nil, fmt.Errorf("wpp: implausible peak live RHS %d", peak)
+	}
+	c.PeakLiveRHS = int(peak)
+	numCosts, err := get("cost count")
+	if err != nil {
+		return nil, err
+	}
+	if numCosts > 1<<32 {
+		return nil, fmt.Errorf("wpp: implausible cost count %d", numCosts)
+	}
+	for i := uint64(0); i < numCosts; i++ {
+		e, err := get("cost event")
+		if err != nil {
+			return nil, err
+		}
+		cost, err := get("cost value")
+		if err != nil {
+			return nil, err
+		}
+		c.costs[trace.Event(e)] = cost
+	}
+	numChunks, err := get("chunk count")
+	if err != nil {
+		return nil, err
+	}
+	// Every chunk costs at least a few bytes; cap against absurd headers.
+	if numChunks > 1<<32 {
+		return nil, fmt.Errorf("wpp: implausible chunk count %d", numChunks)
+	}
+	c.Chunks = make([]*sequitur.Snapshot, 0, min(numChunks, 1<<16))
+	for i := uint64(0); i < numChunks; i++ {
+		// Each snapshot reads from the same buffered stream.
+		snap, err := sequitur.Decode(br)
+		if err != nil {
+			return nil, fmt.Errorf("wpp: chunk %d: %w", i, err)
+		}
+		c.Chunks = append(c.Chunks, snap)
+	}
+	return c, nil
+}
+
+// DecodeAny sniffs the artifact magic and decodes either a monolithic WPP
+// ("WPP1") or a chunked WPP ("WPC1"); exactly one of the returns is
+// non-nil on success.
+func DecodeAny(r io.Reader) (*WPP, *ChunkedWPP, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, nil, fmt.Errorf("wpp: reading magic: %w", err)
+	}
+	switch m {
+	case wppMagic:
+		w, err := decodeBody(br)
+		return w, nil, err
+	case chunkedMagic:
+		c, err := decodeChunkedBody(br)
+		return nil, c, err
+	}
+	return nil, nil, fmt.Errorf("wpp: bad magic %q", m[:])
+}

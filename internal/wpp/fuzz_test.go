@@ -2,10 +2,109 @@ package wpp
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 
 	"repro/internal/trace"
 )
+
+// FuzzChunkedParity drives arbitrary event streams and chunk sizes
+// through both the sequential and the parallel chunked builders and
+// fails on any divergence: differing chunk structure, stats, encodings,
+// expansions, or a Verify failure on either side.
+func FuzzChunkedParity(f *testing.F) {
+	// Seeds cover the degenerate geometries: chunkSize 1 (every event its
+	// own chunk), a stream shorter than one chunk, an empty stream, and a
+	// repetitive stream that compresses into deep rules.
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint64(1), uint8(2))
+	f.Add([]byte{9, 9, 9}, uint64(100), uint8(4))
+	f.Add([]byte{}, uint64(3), uint8(1))
+	f.Add(bytes.Repeat([]byte{1, 2, 3, 4}, 40), uint64(7), uint8(8))
+
+	f.Fuzz(func(t *testing.T, data []byte, chunkSize uint64, workers uint8) {
+		if chunkSize == 0 {
+			chunkSize = 1
+		}
+		if chunkSize > 1<<20 {
+			chunkSize %= 1 << 20
+		}
+		nw := int(workers%8) + 1
+		events := make([]trace.Event, len(data))
+		for i, b := range data {
+			events[i] = trace.MakeEvent(uint32(b%4), uint64(b))
+		}
+
+		sb := NewChunkedBuilder(nil, nil, chunkSize)
+		pb := NewParallelChunkedBuilder(nil, nil, chunkSize, ParallelOptions{Workers: nw})
+		for _, e := range events {
+			sb.Add(e)
+			pb.Add(e)
+		}
+		seq := sb.Finish(uint64(len(events)))
+		par := pb.Finish(uint64(len(events)))
+
+		if err := seq.Verify(); err != nil {
+			t.Fatalf("sequential verify: %v", err)
+		}
+		if err := par.VerifyParallel(nw); err != nil {
+			t.Fatalf("parallel verify: %v", err)
+		}
+		if !reflect.DeepEqual(par.Chunks, seq.Chunks) {
+			t.Fatalf("chunks diverge (chunkSize=%d workers=%d)", chunkSize, nw)
+		}
+		if par.Stats() != seq.Stats() {
+			t.Fatalf("stats diverge: %+v vs %+v", par.Stats(), seq.Stats())
+		}
+		var sbuf, pbuf bytes.Buffer
+		if _, err := seq.Encode(&sbuf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := par.Encode(&pbuf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sbuf.Bytes(), pbuf.Bytes()) {
+			t.Fatalf("encodings diverge (chunkSize=%d workers=%d)", chunkSize, nw)
+		}
+		exp := make([]trace.Event, 0, len(events))
+		par.Walk(func(e trace.Event) bool { exp = append(exp, e); return true })
+		if !reflect.DeepEqual(exp, events) {
+			t.Fatalf("expansion diverges from input (chunkSize=%d)", chunkSize)
+		}
+	})
+}
+
+// FuzzDecodeChunked asserts the chunked decoder never panics on
+// arbitrary bytes and that whatever decodes is safe to verify and walk.
+func FuzzDecodeChunked(f *testing.F) {
+	b := NewChunkedBuilder([]string{"f"}, nil, 16)
+	for i := 0; i < 200; i++ {
+		b.Add(trace.MakeEvent(0, uint64(i%5)))
+	}
+	c := b.Finish(200)
+	var buf bytes.Buffer
+	if _, err := c.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("WPC1"))
+	f.Add([]byte{})
+	f.Add(buf.Bytes()[:buf.Len()/2]) // truncated
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeChunked(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := c.Verify(); err != nil {
+			return
+		}
+		n := 0
+		c.Walk(func(trace.Event) bool {
+			n++
+			return n < 100000
+		})
+	})
+}
 
 // FuzzDecode asserts the .wpp decoder never panics on arbitrary bytes,
 // and that valid artifacts survive a decode/verify round trip.

@@ -1,0 +1,216 @@
+package wpp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/bl"
+	"repro/internal/sequitur"
+	"repro/internal/trace"
+)
+
+// ParallelOptions tunes the parallel chunked pipeline.
+type ParallelOptions struct {
+	// Workers is the number of concurrent SEQUITUR compressors. Zero or
+	// negative means runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+func (o ParallelOptions) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ParallelChunkedBuilder is a ChunkedBuilder whose per-chunk SEQUITUR
+// compression runs on a bounded worker pool. The Add front-end stays
+// single-threaded (it is an interp Sink, called from one goroutine): it
+// only buffers events and tallies path costs; a full buffer is handed to
+// the pool over a bounded channel, so a slow compressor exerts
+// backpressure on the producer instead of queueing unbounded raw chunks.
+//
+// The pipeline is deterministic: chunk i is exactly the events
+// [i*chunkSize, (i+1)*chunkSize) of the stream, SEQUITUR is a
+// deterministic function of a chunk's events, and results are reassembled
+// by chunk index — so Finish returns a ChunkedWPP whose Chunks, Stats,
+// and encoding are byte-identical to the sequential ChunkedBuilder's,
+// regardless of worker count or scheduling.
+//
+// Live memory is bounded by O(workers · chunkSize): at most `workers`
+// chunks queued in the channel, `workers` being compressed, and one being
+// filled.
+type ParallelChunkedBuilder struct {
+	chunkSize uint64
+	funcs     []FuncInfo
+	nums      []*bl.Numbering
+	events    uint64
+	costs     map[trace.Event]uint64
+
+	buf     []uint64 // current chunk, owned by the Add goroutine
+	nextIdx int      // index of the chunk being filled
+
+	jobs    chan parallelJob
+	done    chan struct{} // closed when the collector has drained results
+	results chan parallelResult
+	wg      sync.WaitGroup
+	bufPool sync.Pool
+
+	// Collector-owned state, safe to read only after <-done.
+	chunks  []*sequitur.Snapshot
+	peakRHS int
+
+	finished bool
+}
+
+type parallelJob struct {
+	idx    int
+	events []uint64
+}
+
+type parallelResult struct {
+	idx  int
+	snap *sequitur.Snapshot
+	// rhs is the grammar's RHS symbol count at seal time, the same
+	// quantity the sequential builder samples for PeakLiveRHS.
+	rhs int
+}
+
+// NewParallelChunkedBuilder returns a parallel builder that seals a chunk
+// every chunkSize events and compresses chunks on opts.Workers
+// goroutines. chunkSize must be positive.
+func NewParallelChunkedBuilder(names []string, nums []*bl.Numbering, chunkSize uint64, opts ParallelOptions) *ParallelChunkedBuilder {
+	if chunkSize == 0 {
+		panic("wpp: chunk size must be positive")
+	}
+	funcs := make([]FuncInfo, len(names))
+	for i, n := range names {
+		funcs[i] = FuncInfo{Name: n}
+		if nums != nil {
+			funcs[i].NumPaths = nums[i].NumPaths
+		}
+	}
+	workers := opts.workers()
+	b := &ParallelChunkedBuilder{
+		chunkSize: chunkSize,
+		funcs:     funcs,
+		nums:      nums,
+		costs:     map[trace.Event]uint64{},
+		jobs:      make(chan parallelJob, workers),
+		results:   make(chan parallelResult, workers),
+		done:      make(chan struct{}),
+	}
+	b.bufPool.New = func() any {
+		return make([]uint64, 0, bufCap(chunkSize))
+	}
+	for i := 0; i < workers; i++ {
+		b.wg.Add(1)
+		go b.worker()
+	}
+	go b.collect()
+	return b
+}
+
+// bufCap caps the initial chunk-buffer allocation: huge chunk sizes (used
+// to emulate monolithic construction) must not preallocate huge buffers.
+func bufCap(chunkSize uint64) int {
+	const max = 1 << 16
+	if chunkSize > max {
+		return max
+	}
+	return int(chunkSize)
+}
+
+// worker compresses chunks. Each worker reuses one grammar via Reset, so
+// steady-state compression allocates only the snapshots.
+func (b *ParallelChunkedBuilder) worker() {
+	defer b.wg.Done()
+	g := sequitur.New()
+	for job := range b.jobs {
+		g.Reset()
+		for _, v := range job.events {
+			g.Append(v)
+		}
+		rhs := g.Stats().RHSSymbols
+		snap := g.Snapshot()
+		job.events = job.events[:0]
+		b.bufPool.Put(job.events) //nolint:staticcheck // slice header boxing is fine here
+		b.results <- parallelResult{idx: job.idx, snap: snap, rhs: rhs}
+	}
+}
+
+// collect owns the chunk slice: workers finish out of order, the
+// collector files every snapshot under its chunk index.
+func (b *ParallelChunkedBuilder) collect() {
+	for r := range b.results {
+		for len(b.chunks) <= r.idx {
+			b.chunks = append(b.chunks, nil)
+		}
+		b.chunks[r.idx] = r.snap
+		if r.rhs > b.peakRHS {
+			b.peakRHS = r.rhs
+		}
+	}
+	close(b.done)
+}
+
+// Add feeds one event. It must be called from a single goroutine (it is
+// an interp Sink), and not after Finish.
+func (b *ParallelChunkedBuilder) Add(e trace.Event) {
+	if b.finished {
+		panic("wpp: Add after Finish")
+	}
+	if b.buf == nil {
+		b.buf = b.bufPool.Get().([]uint64)
+	}
+	b.buf = append(b.buf, uint64(e))
+	b.events++
+	if _, seen := b.costs[e]; !seen {
+		cost := uint64(1)
+		if b.nums != nil {
+			w, err := b.nums[e.Func()].PathWeight(e.Path())
+			if err != nil {
+				panic(fmt.Sprintf("wpp: invalid event %v: %v", e, err))
+			}
+			cost = uint64(w)
+		}
+		b.costs[e] = cost
+	}
+	if uint64(len(b.buf)) >= b.chunkSize {
+		b.seal()
+	}
+}
+
+// seal hands the full buffer to the pool. The send blocks when all
+// workers are busy and the queue is full — the backpressure bound.
+func (b *ParallelChunkedBuilder) seal() {
+	b.jobs <- parallelJob{idx: b.nextIdx, events: b.buf}
+	b.nextIdx++
+	b.buf = nil
+}
+
+// Finish seals the current partial chunk, waits for the pool to drain,
+// and returns the artifact. The builder cannot be used afterwards.
+func (b *ParallelChunkedBuilder) Finish(instructions uint64) *ChunkedWPP {
+	if b.finished {
+		panic("wpp: Finish called twice")
+	}
+	b.finished = true
+	if len(b.buf) > 0 {
+		b.seal()
+	}
+	close(b.jobs)
+	b.wg.Wait()
+	close(b.results)
+	<-b.done
+	return &ChunkedWPP{
+		Funcs:        b.funcs,
+		Chunks:       b.chunks,
+		ChunkSize:    b.chunkSize,
+		Events:       b.events,
+		Instructions: instructions,
+		PeakLiveRHS:  b.peakRHS,
+		costs:        b.costs,
+	}
+}

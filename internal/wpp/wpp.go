@@ -327,6 +327,11 @@ func Decode(r io.Reader) (*WPP, error) {
 	if m != wppMagic {
 		return nil, fmt.Errorf("wpp: bad magic %q", m[:])
 	}
+	return decodeBody(br)
+}
+
+// decodeBody reads everything after the magic.
+func decodeBody(br *bufio.Reader) (*WPP, error) {
 	get := func(what string) (uint64, error) {
 		v, err := binary.ReadUvarint(br)
 		if err != nil {
