@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/hotpath"
+	"repro/internal/obsv"
 	"repro/internal/workloads"
 )
 
@@ -22,7 +23,19 @@ func main() {
 	scaleFlag := flag.String("scale", "medium", "workload scale (small|medium|large)")
 	reps := flag.Int("reps", 3, "repetitions for timing experiments (best-of)")
 	workers := flag.Int("workers", 0, "worker count for the p1 parallel-scaling experiment (0 = all cores)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :6060)")
+	progress := flag.Duration("progress", 0, "emit a progress line to stderr at this interval (e.g. 1s)")
 	flag.Parse()
+
+	// The debug server's main value here is live pprof while a long
+	// experiment grid runs; the registry tracks grid progress.
+	reg := obsv.NewRegistry()
+	expDone := reg.Counter("wppbench_experiments_done_total")
+	shutdown, err := obsv.Setup(reg, *debugAddr, "wppbench", *progress, os.Stderr)
+	if err != nil {
+		fatal(err)
+	}
+	defer shutdown()
 
 	scale, err := experiments.ParseScale(*scaleFlag)
 	if err != nil {
@@ -44,6 +57,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		expDone.Inc()
 		fmt.Println(tbl.String())
 	}
 	if want["e1"] {

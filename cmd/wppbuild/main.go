@@ -29,6 +29,7 @@ import (
 	"repro/internal/bl"
 	"repro/internal/experiments"
 	"repro/internal/interp"
+	"repro/internal/obsv"
 	"repro/internal/trace"
 	"repro/internal/wlc"
 	"repro/internal/workloads"
@@ -42,25 +43,40 @@ func main() {
 	scaleFlag := flag.String("scale", "small", "workload scale (small|medium|large)")
 	chunk := flag.Uint64("chunk", 0, "chunk size in events; >0 builds a chunked artifact with the parallel pipeline")
 	workers := flag.Int("workers", 0, "parallel compression workers for -chunk (0 = all cores)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :6060)")
+	progress := flag.Duration("progress", 0, "emit a progress line to stderr at this interval (e.g. 1s)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: wppbuild -o out.wpp [-chunk n -workers w] (program.wl [arg ...] | -workload name [-scale s] | -trace in.wpt)\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
+	reg := obsv.NewRegistry()
+	met := iwpp.NewBuildMetrics(reg)
+	ratio := reg.FloatGauge("wpp_compression_ratio")
+	encodedBytes := reg.Counter("wpp_encoded_bytes_total")
+	shutdown, err := obsv.Setup(reg, *debugAddr, "wppbuild", *progress, os.Stderr)
+	if err != nil {
+		fatal(err)
+	}
+
 	// sink is the event consumer: a monolithic or a parallel chunked
 	// builder, chosen by -chunk.
 	newSink := func(names []string, nums []*bl.Numbering) (func(trace.Event), func(uint64) artifact) {
 		if *chunk > 0 {
-			b := iwpp.NewParallelChunkedBuilder(names, nums, *chunk, iwpp.ParallelOptions{Workers: *workers})
-			return b.Add, func(instrs uint64) artifact { return chunkedArtifact{b.Finish(instrs)} }
+			b := iwpp.NewParallelChunkedBuilder(names, nums, *chunk, iwpp.ParallelOptions{Workers: *workers, Metrics: met})
+			return b.Add, func(instrs uint64) artifact {
+				c := b.Finish(instrs)
+				rep := b.Report()
+				return chunkedArtifact{c, &rep}
+			}
 		}
 		b := iwpp.NewBuilder(names, nums)
+		b.SetMetrics(met)
 		return b.Add, func(instrs uint64) artifact { return monoArtifact{b.Finish(instrs)} }
 	}
 
 	var a artifact
-	var err error
 	switch {
 	case *traceFile != "":
 		a, err = fromTrace(*traceFile, newSink)
@@ -100,14 +116,21 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	n, err := a.encode(f)
+	n, err := a.encode(&obsv.CountingWriter{W: f, C: encodedBytes})
 	if err != nil {
 		fatal(err)
 	}
 	if err := f.Close(); err != nil {
 		fatal(err)
 	}
+	switch t := a.(type) {
+	case monoArtifact:
+		ratio.Set(float64(t.w.Stats().RawTraceBytes) / float64(n))
+	case chunkedArtifact:
+		ratio.Set(t.rep.Ratio)
+	}
 	a.report(n, *out)
+	shutdown()
 }
 
 // artifact abstracts over the two encodings so the build paths stay
@@ -126,13 +149,17 @@ func (a monoArtifact) report(n int64, path string) {
 		st.Events, st.Rules, st.RHSSymbols, st.RawTraceBytes, n, float64(st.RawTraceBytes)/float64(n), path)
 }
 
-type chunkedArtifact struct{ c *iwpp.ChunkedWPP }
+type chunkedArtifact struct {
+	c   *iwpp.ChunkedWPP
+	rep *iwpp.BuildReport
+}
 
 func (a chunkedArtifact) encode(w io.Writer) (int64, error) { return a.c.Encode(w) }
 func (a chunkedArtifact) report(n int64, path string) {
 	st := a.c.Stats()
 	fmt.Printf("events: %d\nchunks: %d (size %d)\nrules: %d\nrhs symbols: %d\npeak live symbols: %d\nwpc bytes: %d\n-> %s\n",
 		st.Events, st.Chunks, a.c.ChunkSize, st.Rules, st.RHSSymbols, st.PeakLiveRHS, n, path)
+	fmt.Println(a.rep.String())
 }
 
 type sinkFactory func(names []string, nums []*bl.Numbering) (func(trace.Event), func(uint64) artifact)

@@ -3,6 +3,10 @@
 // debugging from the command line (see examples/tracediff for the
 // library-level version).
 //
+// Both artifact kinds are accepted, in any combination: the event-level
+// diff walks monolithic ("WPP1") and chunked ("WPC1") traces alike.
+// -spectrum needs the monolithic grammar and rejects chunked inputs.
+//
 // Usage:
 //
 //	wppdiff a.wpp b.wpp
@@ -43,7 +47,10 @@ func main() {
 		fatal(err)
 	}
 	if *spectrum {
-		diffSpectra(a, b, *top)
+		if a.mono == nil || b.mono == nil {
+			fatal(fmt.Errorf("-spectrum supports only monolithic artifacts"))
+		}
+		diffSpectra(a.mono, b.mono, *top)
 		return
 	}
 
@@ -113,27 +120,50 @@ func diffSpectra(a, b *iwpp.WPP, top int) {
 	os.Exit(1)
 }
 
-func load(path string) (*iwpp.WPP, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	w, err := iwpp.Decode(f)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	return w, nil
+// artifact holds either decoded kind; exactly one field is non-nil.
+type artifact struct {
+	mono  *iwpp.WPP
+	chunk *iwpp.ChunkedWPP
 }
 
-func render(w *iwpp.WPP, events []trace.Event, i int) string {
+// Walk yields the full event trace, whichever encoding carries it.
+func (a artifact) Walk(yield func(trace.Event) bool) {
+	if a.mono != nil {
+		a.mono.Walk(yield)
+		return
+	}
+	a.chunk.Walk(yield)
+}
+
+func (a artifact) funcs() []iwpp.FuncInfo {
+	if a.mono != nil {
+		return a.mono.Funcs
+	}
+	return a.chunk.Funcs
+}
+
+func load(path string) (artifact, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return artifact{}, err
+	}
+	defer f.Close()
+	w, cw, err := iwpp.DecodeAny(f)
+	if err != nil {
+		return artifact{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return artifact{mono: w, chunk: cw}, nil
+}
+
+func render(a artifact, events []trace.Event, i int) string {
 	if i >= len(events) {
 		return "<end of trace>"
 	}
 	e := events[i]
+	funcs := a.funcs()
 	name := fmt.Sprintf("f%d", e.Func())
-	if int(e.Func()) < len(w.Funcs) {
-		name = w.Funcs[e.Func()].Name
+	if int(e.Func()) < len(funcs) {
+		name = funcs[e.Func()].Name
 	}
 	return fmt.Sprintf("%s:%d", name, e.Path())
 }

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"repro/internal/hotpath"
+	"repro/internal/obsv"
 	"repro/internal/trace"
 	iwpp "repro/internal/wpp"
 )
@@ -27,6 +28,8 @@ func main() {
 	top := flag.Int("top", 20, "print at most this many subpaths")
 	scan := flag.Bool("scan", false, "use the decompress-and-scan baseline instead of the grammar analysis (monolithic artifacts only)")
 	workers := flag.Int("workers", 0, "concurrency for per-chunk analysis of chunked artifacts (0 = all cores)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :6060)")
+	progress := flag.Duration("progress", 0, "emit a progress line to stderr at this interval (e.g. 1s)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: wpphot [flags] file.wpp\n")
 		flag.PrintDefaults()
@@ -36,16 +39,24 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	reg := obsv.NewRegistry()
+	met := hotpath.NewMetrics(reg)
+	artifactBytes := reg.Counter("wpp_artifact_bytes_read_total")
+	shutdown, err := obsv.Setup(reg, *debugAddr, "wpphot", *progress, os.Stderr)
+	if err != nil {
+		fatal(err)
+	}
+	defer shutdown()
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
 	defer f.Close()
-	w, cw, err := iwpp.DecodeAny(f)
+	w, cw, err := iwpp.DecodeAny(&obsv.CountingReader{R: f, C: artifactBytes})
 	if err != nil {
 		fatal(err)
 	}
-	opts := hotpath.Options{MinLen: *minLen, MaxLen: *maxLen, Threshold: *threshold}
+	opts := hotpath.Options{MinLen: *minLen, MaxLen: *maxLen, Threshold: *threshold, Metrics: met}
 	var subs []hotpath.Subpath
 	var funcs []iwpp.FuncInfo
 	var instrs uint64

@@ -3,6 +3,10 @@
 // profile (the paper's point that a WPP subsumes a Ball–Larus profile),
 // or the grammar DAG in Graphviz form.
 //
+// Both artifact kinds are accepted: monolithic ("WPP1") and chunked
+// ("WPC1"). -dump works on either; -dot, -profile, and -funcs need the
+// monolithic grammar and reject chunked artifacts with an error.
+//
 // Usage:
 //
 //	wppstats [-dump n] [-profile n] [-funcs] [-dot] file.wpp
@@ -37,9 +41,13 @@ func main() {
 		fatal(err)
 	}
 	defer f.Close()
-	w, err := iwpp.Decode(f)
+	w, cw, err := iwpp.DecodeAny(f)
 	if err != nil {
 		fatal(err)
+	}
+	if cw != nil {
+		chunkedStats(cw, *dump, *profile, *funcs, *dot)
+		return
 	}
 	if err := w.Verify(); err != nil {
 		fatal(fmt.Errorf("artifact fails verification: %w", err))
@@ -95,6 +103,47 @@ func main() {
 			}
 			fmt.Printf("  %-16s events=%-10d cost=%-12d %6.2f%%\n", fname, fp.Events, fp.Cost, fp.Fraction*100)
 		}
+	}
+}
+
+// chunkedStats is the chunked-artifact branch: structure statistics plus
+// -dump (the trace walk works per chunk). The grammar-level views need
+// the single monolithic grammar and are rejected.
+func chunkedStats(c *iwpp.ChunkedWPP, dump, profile int, funcs, dot bool) {
+	if dot {
+		fatal(fmt.Errorf("-dot supports only monolithic artifacts (chunked artifacts have one grammar per chunk)"))
+	}
+	if profile > 0 || funcs {
+		fatal(fmt.Errorf("-profile and -funcs support only monolithic artifacts"))
+	}
+	if err := c.Verify(); err != nil {
+		fatal(fmt.Errorf("artifact fails verification: %w", err))
+	}
+	st := c.Stats()
+	raw, enc := c.RawTraceBytes(), c.EncodedBytes()
+	fmt.Printf("functions:      %d\n", len(c.Funcs))
+	fmt.Printf("events:         %d\n", st.Events)
+	fmt.Printf("distinct paths: %d\n", c.DistinctPaths())
+	fmt.Printf("instructions:   %d\n", c.Instructions)
+	fmt.Printf("chunks:         %d (size %d)\n", st.Chunks, c.ChunkSize)
+	fmt.Printf("rules:          %d\n", st.Rules)
+	fmt.Printf("rhs symbols:    %d\n", st.RHSSymbols)
+	fmt.Printf("peak live rhs:  %d\n", st.PeakLiveRHS)
+	fmt.Printf("raw trace:      %d bytes\n", raw)
+	fmt.Printf("wpc:            %d bytes (%.1fx)\n", enc, float64(raw)/float64(enc))
+	fmt.Printf("grammar only:   %d bytes\n", st.GrammarBytes)
+	if dump > 0 {
+		fmt.Println("trace prefix:")
+		n := 0
+		c.Walk(func(e trace.Event) bool {
+			name := fmt.Sprintf("f%d", e.Func())
+			if int(e.Func()) < len(c.Funcs) {
+				name = c.Funcs[e.Func()].Name
+			}
+			fmt.Printf("  %6d  %s:%d\n", n, name, e.Path())
+			n++
+			return n < dump
+		})
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obsv"
 	"repro/internal/trace"
 	"repro/internal/wpp"
 )
@@ -103,8 +104,10 @@ func FindChunked(c *wpp.ChunkedWPP, opts Options, workers int) ([]Subpath, error
 	nl := opts.MaxLen - opts.MinLen + 1
 	per := make([]*chunkWindows, len(c.Chunks))
 	edge := opts.MaxLen - 1 // boundary-region width per side
+	met := opts.metrics()
 
 	forEachChunk(len(c.Chunks), normWorkers(workers), func(i int) {
+		met.ChunksScanned.Inc()
 		a := newAnalysis(c.Chunks[i])
 		cw := &chunkWindows{counts: make([]map[string]uint64, nl)}
 		if len(a.expLen) > 0 {
@@ -136,10 +139,11 @@ func FindChunked(c *wpp.ChunkedWPP, opts Options, workers int) ([]Subpath, error
 				merged[k] += n
 			}
 		}
-		countCrossing(per, l, merged)
+		countCrossing(per, l, merged, met.BoundaryWindows)
 		result = harvest(merged, l, opts, hot, result, c.PathCost, c.Instructions)
 	}
 	sortSubpaths(result)
+	met.SubpathsEmitted.Add(uint64(len(result)))
 	return result, nil
 }
 
@@ -148,7 +152,7 @@ func FindChunked(c *wpp.ChunkedWPP, opts Options, workers int) ([]Subpath, error
 // start position lies in exactly one chunk, so each occurrence is counted
 // exactly once, with weight 1 (boundary regions are raw positions, not
 // grammar-weighted).
-func countCrossing(per []*chunkWindows, l int, counts map[string]uint64) {
+func countCrossing(per []*chunkWindows, l int, counts map[string]uint64, bw *obsv.Counter) {
 	if l < 2 {
 		return // a 1-window cannot cross a boundary
 	}
@@ -184,6 +188,7 @@ func countCrossing(per []*chunkWindows, l int, counts map[string]uint64) {
 				key = binary.BigEndian.AppendUint64(key, v)
 			}
 			counts[string(key)]++
+			bw.Inc()
 		}
 	}
 }

@@ -21,10 +21,37 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obsv"
 	"repro/internal/sequitur"
 	"repro/internal/trace"
 	"repro/internal/wpp"
 )
+
+// Metrics is the analysis-side observability hook set. Fields may be nil
+// (obsv metrics are nil-safe); a nil *Metrics disables instrumentation.
+type Metrics struct {
+	// ChunksScanned counts chunk grammars analyzed by the chunked
+	// searches.
+	ChunksScanned *obsv.Counter
+	// BoundaryWindows counts window occurrences materialized from chunk
+	// boundary regions (the work chunking adds over the monolithic scan).
+	BoundaryWindows *obsv.Counter
+	// SubpathsEmitted counts minimal hot subpaths reported.
+	SubpathsEmitted *obsv.Counter
+}
+
+// NewMetrics registers the standard analysis metric names on r. A nil
+// registry yields nil (no-op) metrics.
+func NewMetrics(r *obsv.Registry) *Metrics {
+	return &Metrics{
+		ChunksScanned:   r.Counter("hotpath_chunks_scanned_total"),
+		BoundaryWindows: r.Counter("hotpath_boundary_windows_total"),
+		SubpathsEmitted: r.Counter("hotpath_subpaths_total"),
+	}
+}
+
+// noopMetrics backs Options with a nil Metrics pointer.
+var noopMetrics = &Metrics{}
 
 // Options selects what counts as a hot subpath.
 type Options struct {
@@ -35,6 +62,17 @@ type Options struct {
 	// count a subpath's aggregate cost must reach to be hot, e.g. 0.01
 	// for 1%.
 	Threshold float64
+	// Metrics installs observability hooks on the search; nil disables
+	// them. Results are identical either way.
+	Metrics *Metrics
+}
+
+// metrics returns the hook set, never nil.
+func (o Options) metrics() *Metrics {
+	if o.Metrics == nil {
+		return noopMetrics
+	}
+	return o.Metrics
 }
 
 func (o Options) validate() error {
@@ -79,6 +117,7 @@ func Find(w *wpp.WPP, opts Options) ([]Subpath, error) {
 		result = harvest(counts, l, opts, hot, result, w.PathCost, w.Instructions)
 	}
 	sortSubpaths(result)
+	opts.metrics().SubpathsEmitted.Add(uint64(len(result)))
 	return result, nil
 }
 

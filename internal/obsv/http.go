@@ -1,0 +1,79 @@
+package obsv
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer serves a registry's /metrics (Prometheus text format),
+// /debug/vars (expvar JSON), and the standard /debug/pprof endpoints on
+// its own mux, so tools can enable live observability with one flag
+// without touching http.DefaultServeMux.
+type DebugServer struct {
+	srv *http.Server
+	lis net.Listener
+}
+
+// ServeDebug starts a debug HTTP server on addr (e.g. ":6060"; ":0" picks
+// a free port) exposing reg. It returns once the listener is bound; the
+// server runs until Close.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obsv: debug listener: %w", err)
+	}
+	d := &DebugServer{srv: &http.Server{Handler: mux}, lis: lis}
+	go d.srv.Serve(lis) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return d, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.lis.Addr().String() }
+
+// Close shuts the server down.
+func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// Setup wires the standard observability flags in one call: when addr is
+// non-empty it starts a DebugServer (publishing the registry on
+// /debug/vars under expvarName), and when every > 0 it starts a periodic
+// progress reporter writing to progressW. The returned shutdown function
+// stops both and is safe to call when neither was enabled.
+func Setup(reg *Registry, addr string, expvarName string, every time.Duration, progressW io.Writer) (shutdown func(), err error) {
+	var srv *DebugServer
+	if addr != "" {
+		reg.PublishExpvar(expvarName)
+		srv, err = ServeDebug(addr, reg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var stopProgress func()
+	if every > 0 {
+		stopProgress = reg.StartProgress(progressW, every)
+	}
+	return func() {
+		if stopProgress != nil {
+			stopProgress()
+		}
+		if srv != nil {
+			srv.Close()
+		}
+	}, nil
+}

@@ -1,0 +1,89 @@
+package obsv
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestDebugServerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dbg_events_total").Add(11)
+	r.PublishExpvar("obsv_test_debug")
+	srv, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "dbg_events_total 11") {
+		t.Errorf("/metrics = %d:\n%s", code, body)
+	}
+
+	code, body = get(t, base+"/debug/vars")
+	if code != http.StatusOK {
+		t.Errorf("/debug/vars = %d", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Errorf("/debug/vars is not JSON: %v", err)
+	}
+	if _, ok := vars["obsv_test_debug"]; !ok {
+		t.Errorf("/debug/vars missing published registry; keys: %v", keys(vars))
+	}
+
+	code, body = get(t, base+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d:\n%.200s", code, body)
+	}
+
+	// A short CPU profile must stream back a valid (non-empty) response.
+	code, body = get(t, base+"/debug/pprof/profile?seconds=1")
+	if code != http.StatusOK || len(body) == 0 {
+		t.Errorf("/debug/pprof/profile = %d, %d bytes", code, len(body))
+	}
+}
+
+func TestSetupAndShutdown(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("setup_total").Inc()
+	shutdown, err := Setup(r, "127.0.0.1:0", "obsv_test_setup", 5*time.Millisecond, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(15 * time.Millisecond)
+	shutdown()
+	// Disabled flags must be a no-op.
+	shutdown2, err := Setup(r, "", "unused", 0, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdown2()
+}
+
+func keys(m map[string]json.RawMessage) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

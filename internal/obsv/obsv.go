@@ -1,0 +1,208 @@
+// Package obsv is the pipeline's observability layer: lock-free counters,
+// gauges, and bucketed duration histograms built on sync/atomic, collected
+// in a named registry that can snapshot itself, publish through expvar,
+// serve Prometheus text format, and report progress periodically.
+//
+// Two properties make it safe to thread through the hot path:
+//
+//   - Every metric operation is a single atomic instruction (or a short
+//     loop of them for histograms) with no allocation, so instrumented
+//     code can run inside per-event loops.
+//   - Every metric method is nil-safe: calling Inc/Add/Set/Observe on a
+//     nil metric is a no-op. Instrumentation sites therefore need no
+//     conditionals — an uninstrumented pipeline holds nil metrics and
+//     pays only the nil check.
+//
+// Readers (snapshot, Prometheus scrape, progress lines) only load atomics;
+// they can run concurrently with a build without blocking or tearing it.
+package obsv
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+func floatBits(f float64) uint64     { return math.Float64bits(f) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// Counter is a monotonically increasing uint64. The zero value is ready to
+// use; a nil *Counter is a no-op.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count; 0 on a nil counter.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an int64 that can move both ways. The zero value is ready to
+// use; a nil *Gauge is a no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds d (negative to decrement).
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Value returns the current value; 0 on a nil gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// FloatGauge is a float64 gauge (stored as atomic bits), for derived
+// quantities like compression ratios. A nil *FloatGauge is a no-op.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores f.
+func (g *FloatGauge) Set(f float64) {
+	if g != nil {
+		g.bits.Store(floatBits(f))
+	}
+}
+
+// Value returns the current value; 0 on a nil gauge.
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return floatFromBits(g.bits.Load())
+}
+
+// Histogram counts duration observations into fixed buckets. Bounds are
+// inclusive upper bounds in ascending order; observations above the last
+// bound land in an implicit +Inf bucket. The sum is kept in nanoseconds.
+// A nil *Histogram is a no-op.
+type Histogram struct {
+	bounds  []time.Duration
+	buckets []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count   atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// DefDurationBuckets covers the chunk-compression and analysis latencies
+// the pipeline produces, from tens of microseconds to seconds.
+var DefDurationBuckets = []time.Duration{
+	100 * time.Microsecond,
+	250 * time.Microsecond,
+	500 * time.Microsecond,
+	time.Millisecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	500 * time.Millisecond,
+	time.Second,
+}
+
+// NewHistogram returns a histogram over the given ascending bounds; nil or
+// empty bounds default to DefDurationBuckets.
+func NewHistogram(bounds []time.Duration) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefDurationBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obsv: histogram bounds must be ascending")
+		}
+	}
+	return &Histogram{
+		bounds:  bounds,
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && d > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Count returns the number of observations; 0 on a nil histogram.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observations; 0 on a nil histogram.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// HistogramSnapshot is an immutable copy of a histogram's state.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds in seconds (Prometheus "le").
+	Bounds []float64
+	// Counts[i] is the count in bucket i; the final entry is the +Inf
+	// bucket. Cumulative sums are left to the renderer.
+	Counts []uint64
+	Count  uint64
+	// Sum is the total observed time in seconds.
+	Sum float64
+}
+
+// snapshot copies the histogram's state. Buckets are loaded individually,
+// so a snapshot taken mid-observation can be off by an in-flight sample —
+// acceptable for monitoring, and it never blocks writers.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: make([]float64, len(h.bounds)),
+		Counts: make([]uint64, len(h.buckets)),
+		Count:  h.count.Load(),
+		Sum:    time.Duration(h.sum.Load()).Seconds(),
+	}
+	for i, b := range h.bounds {
+		s.Bounds[i] = b.Seconds()
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	return s
+}

@@ -1,0 +1,81 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// StartProgress launches a goroutine that writes one compact progress line
+// to w every interval: counters with their per-interval delta, gauges and
+// float gauges with current values, histograms as count@mean. The returned
+// stop function prints one final line (so short runs still report) and
+// waits for the goroutine to exit. No-op on a nil registry.
+func (r *Registry) StartProgress(w io.Writer, every time.Duration) (stop func()) {
+	if r == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	last := map[string]uint64{}
+	emit := func() {
+		line := r.progressLine(last)
+		if line != "" {
+			fmt.Fprintln(w, line)
+		}
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				emit()
+			case <-done:
+				emit()
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+		})
+	}
+}
+
+// progressLine renders the registry as one "name=value" line, updating
+// last with counter values to compute deltas.
+func (r *Registry) progressLine(last map[string]uint64) string {
+	var b strings.Builder
+	b.WriteString("progress:")
+	for _, e := range r.sorted() {
+		switch e.kind {
+		case kindCounter:
+			v := e.c.Value()
+			fmt.Fprintf(&b, " %s=%d(+%d)", e.name, v, v-last[e.name])
+			last[e.name] = v
+		case kindGauge:
+			fmt.Fprintf(&b, " %s=%d", e.name, e.g.Value())
+		case kindFloatGauge:
+			fmt.Fprintf(&b, " %s=%.3g", e.name, e.f.Value())
+		case kindHistogram:
+			n := e.h.Count()
+			mean := time.Duration(0)
+			if n > 0 {
+				mean = e.h.Sum() / time.Duration(n)
+			}
+			fmt.Fprintf(&b, " %s=%d@%s", e.name, n, mean.Round(time.Microsecond))
+		}
+	}
+	if b.Len() == len("progress:") {
+		return ""
+	}
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package obsv
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), in registration order. Metric names
+// are sanitized to the Prometheus charset; histograms render cumulative
+// le buckets plus _sum and _count with the sum in seconds. A nil registry
+// writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range r.sorted() {
+		name := PromName(e.name)
+		switch e.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", name, name, e.c.Value())
+		case kindGauge:
+			fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", name, name, e.g.Value())
+		case kindFloatGauge:
+			fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(e.f.Value()))
+		case kindHistogram:
+			s := e.h.snapshot()
+			fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+			var cum uint64
+			for i, b := range s.Bounds {
+				cum += s.Counts[i]
+				fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", name, formatFloat(b), cum)
+			}
+			cum += s.Counts[len(s.Counts)-1]
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+			fmt.Fprintf(bw, "%s_sum %s\n", name, formatFloat(s.Sum))
+			fmt.Fprintf(bw, "%s_count %d\n", name, s.Count)
+		}
+	}
+	return bw.Flush()
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// PromName maps an arbitrary metric name onto the Prometheus identifier
+// charset [a-zA-Z_:][a-zA-Z0-9_:]*: invalid bytes become '_', and a name
+// that is empty or starts with a digit gains a '_' prefix.
+func PromName(name string) string {
+	valid := func(i int, c byte) bool {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			return true
+		case c >= '0' && c <= '9':
+			return i > 0
+		}
+		return false
+	}
+	ok := len(name) > 0
+	for i := 0; i < len(name) && ok; i++ {
+		ok = valid(i, name[i])
+	}
+	if ok {
+		return name
+	}
+	out := make([]byte, 0, len(name)+1)
+	if len(name) == 0 || (name[0] >= '0' && name[0] <= '9') {
+		out = append(out, '_')
+	}
+	for i := 0; i < len(name); i++ {
+		if valid(1, name[i]) { // position 1: digits allowed after the first byte
+			out = append(out, name[i])
+		} else {
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,95 @@
+package obsv
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("wpp_events_ingested_total").Add(100)
+	r.Gauge("wpp_queue_depth").Set(2)
+	r.FloatGauge("wpp_compression_ratio").Set(35.25)
+	h := r.Histogram("wpp_chunk_compress_seconds", []time.Duration{time.Millisecond, time.Second})
+	h.Observe(2 * time.Millisecond)
+	h.Observe(500 * time.Microsecond)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE wpp_events_ingested_total counter",
+		"wpp_events_ingested_total 100",
+		"# TYPE wpp_queue_depth gauge",
+		"wpp_queue_depth 2",
+		"wpp_compression_ratio 35.25",
+		"# TYPE wpp_chunk_compress_seconds histogram",
+		`wpp_chunk_compress_seconds_bucket{le="0.001"} 1`,
+		`wpp_chunk_compress_seconds_bucket{le="1"} 2`,
+		`wpp_chunk_compress_seconds_bucket{le="+Inf"} 2`,
+		"wpp_chunk_compress_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"already_valid":   "already_valid",
+		"with:colons":     "with:colons",
+		"has space":       "has_space",
+		"dotted.name":     "dotted_name",
+		"0starts_digit":   "_0starts_digit",
+		"":                "_",
+		"unicode-héllo":   "unicode_h__llo",
+		"mixed/slash-sep": "mixed_slash_sep",
+	}
+	validName := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	for in, want := range cases {
+		got := PromName(in)
+		if got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+		if !validName.MatchString(got) {
+			t.Errorf("PromName(%q) = %q is not a valid Prometheus name", in, got)
+		}
+	}
+}
+
+// FuzzPromExposition feeds arbitrary metric names through registration and
+// the Prometheus writer: whatever the name, the exposition must stay
+// parseable — sanitized names, one value per line, no control characters.
+func FuzzPromExposition(f *testing.F) {
+	f.Add("wpp_events_total")
+	f.Add("has space")
+	f.Add("0digit")
+	f.Add("")
+	f.Add("é\x00\nnewline")
+	validName := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	f.Fuzz(func(t *testing.T, name string) {
+		if got := PromName(name); !validName.MatchString(got) {
+			t.Fatalf("PromName(%q) = %q is not a valid Prometheus name", name, got)
+		}
+		r := NewRegistry()
+		r.Counter(name).Add(1)
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+		if len(lines) != 2 {
+			t.Fatalf("expected TYPE line + sample line, got %q", buf.String())
+		}
+		fields := strings.Fields(lines[1])
+		if len(fields) != 2 || !validName.MatchString(fields[0]) || fields[1] != "1" {
+			t.Fatalf("malformed sample line %q for name %q", lines[1], name)
+		}
+	})
+}

@@ -1,0 +1,191 @@
+package obsv
+
+import (
+	"expvar"
+	"sync"
+	"time"
+)
+
+// metricKind discriminates registry entries.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindFloatGauge
+	kindHistogram
+)
+
+type entry struct {
+	name string
+	kind metricKind
+	c    *Counter
+	g    *Gauge
+	f    *FloatGauge
+	h    *Histogram
+}
+
+// Registry is a named collection of metrics. Registration takes a mutex;
+// metric operations on the returned objects are lock-free. Lookups of an
+// already registered name return the existing metric, so independent
+// components can share counters by name. A nil *Registry returns nil
+// metrics from every getter, which are themselves no-ops — passing a nil
+// registry disables instrumentation with zero configuration.
+type Registry struct {
+	mu      sync.Mutex
+	entries []entry // registration order, for stable export
+	byName  map[string]int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]int{}}
+}
+
+func (r *Registry) lookup(name string, kind metricKind) (entry, bool) {
+	if i, ok := r.byName[name]; ok {
+		e := r.entries[i]
+		if e.kind != kind {
+			panic("obsv: metric " + name + " registered with a different kind")
+		}
+		return e, true
+	}
+	return entry{}, false
+}
+
+func (r *Registry) add(e entry) {
+	r.byName[e.name] = len(r.entries)
+	r.entries = append(r.entries, e)
+}
+
+// Counter returns the counter with the given name, registering it on
+// first use. Returns nil (a no-op counter) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.lookup(name, kindCounter); ok {
+		return e.c
+	}
+	c := &Counter{}
+	r.add(entry{name: name, kind: kindCounter, c: c})
+	return c
+}
+
+// Gauge returns the gauge with the given name, registering it on first
+// use. Returns nil on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.lookup(name, kindGauge); ok {
+		return e.g
+	}
+	g := &Gauge{}
+	r.add(entry{name: name, kind: kindGauge, g: g})
+	return g
+}
+
+// FloatGauge returns the float gauge with the given name, registering it
+// on first use. Returns nil on a nil registry.
+func (r *Registry) FloatGauge(name string) *FloatGauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.lookup(name, kindFloatGauge); ok {
+		return e.f
+	}
+	f := &FloatGauge{}
+	r.add(entry{name: name, kind: kindFloatGauge, f: f})
+	return f
+}
+
+// Histogram returns the histogram with the given name, registering it on
+// first use with the given bounds (nil bounds = DefDurationBuckets).
+// Returns nil on a nil registry.
+func (r *Registry) Histogram(name string, bounds []time.Duration) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.lookup(name, kindHistogram); ok {
+		return e.h
+	}
+	h := NewHistogram(bounds)
+	r.add(entry{name: name, kind: kindHistogram, h: h})
+	return h
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry,
+// JSON-marshalable for expvar export.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Floats     map[string]float64           `json:"floats,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the current value of every registered metric. Values are
+// read individually with atomic loads; the snapshot is consistent per
+// metric, not across metrics. Returns an empty snapshot on a nil registry.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Floats:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	for _, e := range r.sorted() {
+		switch e.kind {
+		case kindCounter:
+			s.Counters[e.name] = e.c.Value()
+		case kindGauge:
+			s.Gauges[e.name] = e.g.Value()
+		case kindFloatGauge:
+			s.Floats[e.name] = e.f.Value()
+		case kindHistogram:
+			s.Histograms[e.name] = e.h.snapshot()
+		}
+	}
+	return s
+}
+
+// sorted returns a copy of the entries in registration order; safe to
+// iterate without the lock. Nil registries yield nothing.
+func (r *Registry) sorted() []entry {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]entry, len(r.entries))
+	copy(out, r.entries)
+	return out
+}
+
+// expvarMu guards against double publication: expvar.Publish panics on
+// duplicate names, and tests create registries repeatedly.
+var expvarMu sync.Mutex
+
+// PublishExpvar exposes the registry's snapshot as an expvar variable with
+// the given name, making it visible on /debug/vars. Publishing the same
+// name twice keeps the first registration (expvar has no replace). No-op
+// on a nil registry.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil {
+		return
+	}
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -22,6 +22,8 @@ package sequitur
 
 import (
 	"fmt"
+
+	"repro/internal/obsv"
 )
 
 // MaxTerminal is the exclusive upper bound on terminal symbol values.
@@ -87,6 +89,23 @@ type Options struct {
 	DisableRuleUtility bool
 }
 
+// Metrics is the grammar's observability hook set. All fields may be nil
+// (the zero value): obsv metrics are nil-safe no-ops, so an instrumented
+// Append costs a few nil checks when disabled and a few atomic adds when
+// enabled — never an allocation.
+type Metrics struct {
+	// Terminals counts input symbols appended.
+	Terminals *obsv.Counter
+	// RulesCreated counts new rules minted for repeated digrams;
+	// RulesReused counts repeated digrams resolved by reusing an existing
+	// whole-body rule (SEQUITUR's structure-sharing win).
+	RulesCreated *obsv.Counter
+	RulesReused  *obsv.Counter
+	// DigramTable tracks the live size of the digram index, the
+	// algorithm's dominant memory term.
+	DigramTable *obsv.Gauge
+}
+
 // Grammar is an online SEQUITUR grammar. The zero value is not usable;
 // call New.
 type Grammar struct {
@@ -100,7 +119,14 @@ type Grammar struct {
 	liveRules int
 	// rhsSymbols counts symbols currently on all right-hand sides.
 	rhsSymbols int
+	// metrics holds the observability hooks; the zero value is disabled.
+	metrics Metrics
 }
+
+// SetMetrics installs observability hooks. The zero Metrics disables
+// instrumentation. Reset keeps the hooks, so pooled grammars stay
+// instrumented across reuse.
+func (g *Grammar) SetMetrics(m Metrics) { g.metrics = m }
 
 // New returns an empty grammar with default options.
 func New() *Grammar { return NewWithOptions(Options{}) }
@@ -130,6 +156,7 @@ func (g *Grammar) Reset() {
 	g.liveRules = 1
 	g.rhsSymbols = 0
 	g.terminals = 0
+	g.metrics.DigramTable.Set(0)
 }
 
 // Append feeds one terminal to the grammar. It panics if v >= MaxTerminal.
@@ -143,6 +170,8 @@ func (g *Grammar) Append(v uint64) {
 	if !s.prev.guard {
 		g.check(s.prev)
 	}
+	g.metrics.Terminals.Inc()
+	g.metrics.DigramTable.Set(int64(len(g.index)))
 }
 
 // Len reports the number of terminals appended so far.
@@ -217,12 +246,14 @@ func (g *Grammar) match(s, m *symbol) {
 	if m.prev.guard && m.next.next.guard {
 		// The matched occurrence is the entire body of a rule: reuse it.
 		r = m.prev.rule
+		g.metrics.RulesReused.Inc()
 		g.substitute(s, r)
 	} else {
 		// Create a new rule whose body is a copy of the digram.
 		r = newRule(g.nextID)
 		g.nextID++
 		g.liveRules++
+		g.metrics.RulesCreated.Inc()
 		g.link(r.guardSym, g.copySym(s))
 		g.link(r.first(), g.copySym(s.next))
 		// Replace the older occurrence first so its index entry is

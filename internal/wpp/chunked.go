@@ -30,6 +30,14 @@ type ChunkedBuilder struct {
 	// peakRHS tracks the largest live grammar seen, the memory bound the
 	// chunking buys.
 	peakRHS int
+	metrics BuildMetrics
+}
+
+// SetMetrics installs observability hooks (see BuildMetrics); nil
+// disables instrumentation. Call before feeding events.
+func (b *ChunkedBuilder) SetMetrics(m *BuildMetrics) {
+	b.metrics = m.orNoop()
+	b.cur.SetMetrics(b.metrics.Grammar)
 }
 
 // NewChunkedBuilder returns a builder that seals a chunk every chunkSize
@@ -59,6 +67,7 @@ func (b *ChunkedBuilder) Add(e trace.Event) {
 	b.cur.Append(uint64(e))
 	b.curCount++
 	b.events++
+	b.metrics.EventsIngested.Inc()
 	if _, seen := b.costs[e]; !seen {
 		cost := uint64(1)
 		if b.nums != nil {
@@ -81,7 +90,9 @@ func (b *ChunkedBuilder) seal() {
 	}
 	b.chunks = append(b.chunks, b.cur.Snapshot())
 	b.cur = sequitur.New()
+	b.cur.SetMetrics(b.metrics.Grammar)
 	b.curCount = 0
+	b.metrics.ChunksSealed.Inc()
 }
 
 // ChunkedWPP is the sealed artifact.
@@ -125,6 +136,17 @@ func (c *ChunkedWPP) Walk(yield func(trace.Event) bool) {
 			return
 		}
 	}
+}
+
+// RawTraceBytes computes the varint-encoded size of the uncompressed
+// trace the artifact replaces (trace magic + payload), without
+// materializing it — the numerator of the compression ratio.
+func (c *ChunkedWPP) RawTraceBytes() int64 {
+	var n int64 = 4
+	for _, ch := range c.Chunks {
+		n += snapshotRawBytes(ch)
+	}
+	return n
 }
 
 // EncodedSize reports the total byte size of all chunk grammars (the

@@ -90,6 +90,27 @@ func (c *ChunkedWPP) Encode(out io.Writer) (int64, error) {
 	return written, nil
 }
 
+// EncodedBytes returns the byte size Encode would produce for the whole
+// artifact — header, cost table, and every chunk grammar. (EncodedSize
+// reports the grammar bytes alone, for size comparisons against the
+// monolithic grammar.)
+func (c *ChunkedWPP) EncodedBytes() int64 {
+	n := int64(4)
+	n += int64(uvarintLen(uint64(len(c.Funcs))))
+	for _, f := range c.Funcs {
+		n += int64(uvarintLen(uint64(len(f.Name)))) + int64(len(f.Name)) + int64(uvarintLen(f.NumPaths))
+	}
+	for _, v := range []uint64{c.ChunkSize, c.Events, c.Instructions, uint64(c.PeakLiveRHS)} {
+		n += int64(uvarintLen(v))
+	}
+	n += int64(uvarintLen(uint64(len(c.costs))))
+	for e, cost := range c.costs {
+		n += int64(uvarintLen(uint64(e))) + int64(uvarintLen(cost))
+	}
+	n += int64(uvarintLen(uint64(len(c.Chunks))))
+	return n + c.EncodedSize()
+}
+
 // DecodeChunked reads a chunked WPP written by Encode.
 func DecodeChunked(r io.Reader) (*ChunkedWPP, error) {
 	br := bufio.NewReader(r)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/bl"
 	"repro/internal/sequitur"
@@ -15,6 +16,10 @@ type ParallelOptions struct {
 	// Workers is the number of concurrent SEQUITUR compressors. Zero or
 	// negative means runtime.GOMAXPROCS(0).
 	Workers int
+	// Metrics installs observability hooks on the pipeline (see
+	// BuildMetrics). Nil disables instrumentation; the artifact is
+	// byte-identical either way.
+	Metrics *BuildMetrics
 }
 
 func (o ParallelOptions) workers() int {
@@ -61,7 +66,15 @@ type ParallelChunkedBuilder struct {
 	chunks  []*sequitur.Snapshot
 	peakRHS int
 
+	metrics BuildMetrics
+	start   time.Time
+	// workerBusy[i] is worker i's total compression time in nanoseconds,
+	// written by the worker goroutine before exit and read by Finish
+	// after wg.Wait (the WaitGroup provides the happens-before edge).
+	workerBusy []int64
+
 	finished bool
+	report   BuildReport
 }
 
 type parallelJob struct {
@@ -93,23 +106,34 @@ func NewParallelChunkedBuilder(names []string, nums []*bl.Numbering, chunkSize u
 	}
 	workers := opts.workers()
 	b := &ParallelChunkedBuilder{
-		chunkSize: chunkSize,
-		funcs:     funcs,
-		nums:      nums,
-		costs:     map[trace.Event]uint64{},
-		jobs:      make(chan parallelJob, workers),
-		results:   make(chan parallelResult, workers),
-		done:      make(chan struct{}),
-	}
-	b.bufPool.New = func() any {
-		return make([]uint64, 0, bufCap(chunkSize))
+		chunkSize:  chunkSize,
+		funcs:      funcs,
+		nums:       nums,
+		costs:      map[trace.Event]uint64{},
+		jobs:       make(chan parallelJob, workers),
+		results:    make(chan parallelResult, workers),
+		done:       make(chan struct{}),
+		metrics:    opts.Metrics.orNoop(),
+		start:      time.Now(),
+		workerBusy: make([]int64, workers),
 	}
 	for i := 0; i < workers; i++ {
 		b.wg.Add(1)
-		go b.worker()
+		go b.worker(i)
 	}
 	go b.collect()
 	return b
+}
+
+// getBuf returns a recycled chunk buffer, or allocates one when the pool
+// is empty. Pool hits are the steady-state case; counting them (rather
+// than allocations) makes buffer churn visible.
+func (b *ParallelChunkedBuilder) getBuf() []uint64 {
+	if v := b.bufPool.Get(); v != nil {
+		b.metrics.PoolRecycles.Inc()
+		return v.([]uint64)
+	}
+	return make([]uint64, 0, bufCap(b.chunkSize))
 }
 
 // bufCap caps the initial chunk-buffer allocation: huge chunk sizes (used
@@ -123,11 +147,20 @@ func bufCap(chunkSize uint64) int {
 }
 
 // worker compresses chunks. Each worker reuses one grammar via Reset, so
-// steady-state compression allocates only the snapshots.
-func (b *ParallelChunkedBuilder) worker() {
+// steady-state compression allocates only the snapshots. Busy time (one
+// time.Now pair per chunk, negligible against compressing chunkSize
+// events) always accumulates into workerBusy for the BuildReport; the
+// metric counters are nil-safe no-ops when instrumentation is off.
+func (b *ParallelChunkedBuilder) worker(id int) {
 	defer b.wg.Done()
 	g := sequitur.New()
+	g.SetMetrics(b.metrics.Grammar)
+	var busy int64
+	idleStart := time.Now()
 	for job := range b.jobs {
+		t0 := time.Now()
+		b.metrics.WorkerIdleNS.Add(uint64(t0.Sub(idleStart)))
+		b.metrics.QueueDepth.Set(int64(len(b.jobs)))
 		g.Reset()
 		for _, v := range job.events {
 			g.Append(v)
@@ -137,7 +170,13 @@ func (b *ParallelChunkedBuilder) worker() {
 		job.events = job.events[:0]
 		b.bufPool.Put(job.events) //nolint:staticcheck // slice header boxing is fine here
 		b.results <- parallelResult{idx: job.idx, snap: snap, rhs: rhs}
+		d := time.Since(t0)
+		busy += int64(d)
+		b.metrics.WorkerBusyNS.Add(uint64(d))
+		b.metrics.ChunkCompress.Observe(d)
+		idleStart = time.Now()
 	}
+	b.workerBusy[id] = busy
 }
 
 // collect owns the chunk slice: workers finish out of order, the
@@ -162,10 +201,11 @@ func (b *ParallelChunkedBuilder) Add(e trace.Event) {
 		panic("wpp: Add after Finish")
 	}
 	if b.buf == nil {
-		b.buf = b.bufPool.Get().([]uint64)
+		b.buf = b.getBuf()
 	}
 	b.buf = append(b.buf, uint64(e))
 	b.events++
+	b.metrics.EventsIngested.Inc()
 	if _, seen := b.costs[e]; !seen {
 		cost := uint64(1)
 		if b.nums != nil {
@@ -188,6 +228,8 @@ func (b *ParallelChunkedBuilder) seal() {
 	b.jobs <- parallelJob{idx: b.nextIdx, events: b.buf}
 	b.nextIdx++
 	b.buf = nil
+	b.metrics.ChunksSealed.Inc()
+	b.metrics.QueueDepth.Set(int64(len(b.jobs)))
 }
 
 // Finish seals the current partial chunk, waits for the pool to drain,
@@ -204,7 +246,7 @@ func (b *ParallelChunkedBuilder) Finish(instructions uint64) *ChunkedWPP {
 	b.wg.Wait()
 	close(b.results)
 	<-b.done
-	return &ChunkedWPP{
+	c := &ChunkedWPP{
 		Funcs:        b.funcs,
 		Chunks:       b.chunks,
 		ChunkSize:    b.chunkSize,
@@ -213,4 +255,39 @@ func (b *ParallelChunkedBuilder) Finish(instructions uint64) *ChunkedWPP {
 		PeakLiveRHS:  b.peakRHS,
 		costs:        b.costs,
 	}
+	b.report = b.buildReport(c, time.Since(b.start))
+	return c
+}
+
+// buildReport assembles the build summary from the sealed artifact and
+// the per-worker busy times.
+func (b *ParallelChunkedBuilder) buildReport(c *ChunkedWPP, wall time.Duration) BuildReport {
+	r := BuildReport{
+		Events:        c.Events,
+		Chunks:        len(c.Chunks),
+		ChunkSize:     c.ChunkSize,
+		DistinctPaths: len(c.costs),
+		Workers:       len(b.workerBusy),
+		BytesIn:       c.RawTraceBytes(),
+		BytesOut:      c.EncodedBytes(),
+		WallTime:      wall,
+		WorkerBusy:    make([]float64, len(b.workerBusy)),
+	}
+	if r.BytesOut > 0 {
+		r.Ratio = float64(r.BytesIn) / float64(r.BytesOut)
+	}
+	if wall > 0 {
+		for i, busy := range b.workerBusy {
+			r.WorkerBusy[i] = float64(busy) / float64(wall)
+		}
+	}
+	return r
+}
+
+// Report returns the build summary. Valid only after Finish.
+func (b *ParallelChunkedBuilder) Report() BuildReport {
+	if !b.finished {
+		panic("wpp: Report before Finish")
+	}
+	return b.report
 }

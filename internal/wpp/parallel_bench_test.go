@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obsv"
 	"repro/internal/trace"
 )
 
@@ -140,5 +141,54 @@ func TestParallelOverheadBound(t *testing.T) {
 	t.Logf("sequential %v, parallel(w=1) %v, limit %v", seq, par, limit)
 	if par > limit {
 		t.Errorf("parallel pipeline at Workers=1 took %v, over the %v bound (sequential %v)", par, limit, seq)
+	}
+}
+
+// TestInstrumentedOverheadBound guards the observability layer's core
+// promise: enabling full BuildMetrics may cost at most 5% wall time over
+// the uninstrumented pipeline at Workers=1 (plus the same absolute grace
+// as the bound above, so sub-millisecond jitter cannot fail the build).
+// The instrumented path adds only atomic counter increments and two
+// time.Now calls per chunk; a bigger gap means instrumentation leaked
+// into the hot path.
+func TestInstrumentedOverheadBound(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector intercepts every atomic op; the 5% bound only holds in normal builds")
+	}
+	n := 1 << 18
+	if testing.Short() {
+		n = 1 << 16
+	}
+	events := benchStream(n)
+
+	timeOf := func(f func()) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for rep := 0; rep < 5; rep++ {
+			start := time.Now()
+			f()
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	build := func(met *BuildMetrics) func() {
+		return func() {
+			pb := NewParallelChunkedBuilder(nil, nil, benchChunk, ParallelOptions{Workers: 1, Metrics: met})
+			for _, e := range events {
+				pb.Add(e)
+			}
+			pb.Finish(uint64(n))
+		}
+	}
+
+	plain := timeOf(build(nil))
+	instrumented := timeOf(build(NewBuildMetrics(obsv.NewRegistry())))
+
+	const grace = 20 * time.Millisecond
+	limit := plain + plain/20 + grace // 1.05x + jitter grace
+	t.Logf("uninstrumented %v, instrumented %v, limit %v", plain, instrumented, limit)
+	if instrumented > limit {
+		t.Errorf("instrumented pipeline took %v, over the %v bound (uninstrumented %v)", instrumented, limit, plain)
 	}
 }

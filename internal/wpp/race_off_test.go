@@ -1,0 +1,7 @@
+//go:build !race
+
+package wpp
+
+// raceEnabled reports whether the race detector is active; timing-bound
+// guards skip themselves under it.
+const raceEnabled = false

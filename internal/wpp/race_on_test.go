@@ -1,0 +1,8 @@
+//go:build race
+
+package wpp
+
+// raceEnabled reports whether the race detector is active; timing-bound
+// guards skip themselves under it (every atomic op is intercepted, so
+// relative overhead measurements are meaningless).
+const raceEnabled = true

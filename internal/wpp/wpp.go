@@ -54,6 +54,14 @@ type Builder struct {
 	nums    []*bl.Numbering
 	events  uint64
 	costs   map[trace.Event]uint64
+	metrics BuildMetrics
+}
+
+// SetMetrics installs observability hooks (see BuildMetrics); nil
+// disables instrumentation. Call before feeding events.
+func (b *Builder) SetMetrics(m *BuildMetrics) {
+	b.metrics = m.orNoop()
+	b.grammar.SetMetrics(b.metrics.Grammar)
 }
 
 // NewBuilder returns a builder for a program whose functions have the
@@ -80,6 +88,7 @@ func NewBuilder(names []string, nums []*bl.Numbering) *Builder {
 func (b *Builder) Add(e trace.Event) {
 	b.grammar.Append(uint64(e))
 	b.events++
+	b.metrics.EventsIngested.Inc()
 	if _, seen := b.costs[e]; !seen {
 		cost := uint64(1)
 		if b.nums != nil {
@@ -167,7 +176,16 @@ func (w *WPP) Stats() Stats {
 // rawTraceBytes computes the varint-encoded size of the full expansion
 // without materializing it: bytes(rule) summed bottom-up with use counts.
 func (w *WPP) rawTraceBytes() int64 {
-	n := len(w.Grammar.Rules)
+	return 4 + snapshotRawBytes(w.Grammar) // trace magic + payload
+}
+
+// snapshotRawBytes is the varint byte size of a snapshot's full expansion,
+// computed bottom-up with memoization rather than by expanding.
+func snapshotRawBytes(sn *sequitur.Snapshot) int64 {
+	n := len(sn.Rules)
+	if n == 0 {
+		return 0
+	}
 	memo := make([]int64, n)
 	done := make([]bool, n)
 	var visit func(int) int64
@@ -176,7 +194,7 @@ func (w *WPP) rawTraceBytes() int64 {
 			return memo[i]
 		}
 		var total int64
-		for _, s := range w.Grammar.Rules[i] {
+		for _, s := range sn.Rules[i] {
 			if s.IsRule() {
 				total += visit(int(s.Rule))
 			} else {
@@ -187,10 +205,7 @@ func (w *WPP) rawTraceBytes() int64 {
 		done[i] = true
 		return total
 	}
-	if n == 0 {
-		return 4
-	}
-	return 4 + visit(0) // trace magic + payload
+	return visit(0)
 }
 
 func uvarintLen(v uint64) int {

@@ -41,7 +41,18 @@ type ChunkedProfile struct {
 	names   []string
 	nums    []*bl.Numbering
 	workers int
+	report  *BuildReport
 }
+
+// BuildReport summarizes a chunked build: events ingested, chunk and
+// byte totals, the compression ratio, and each worker's busy fraction of
+// the build's wall time.
+type BuildReport = iwpp.BuildReport
+
+// Report returns the build summary recorded while this profile was
+// constructed. Profiles loaded with ReadChunkedProfile were not built in
+// this process and return nil.
+func (cp *ChunkedProfile) Report() *BuildReport { return cp.report }
 
 // ProfileChunked runs main(args...) under path tracing, compressing the
 // event stream with the parallel chunked pipeline.
@@ -72,6 +83,7 @@ func (p *Program) ProfileChunked(args []int64, copts ChunkedOptions, opts ...Run
 		return nil, err
 	}
 	cw := b.Finish(m.Stats().Instructions)
+	rep := b.Report()
 	return &ChunkedProfile{
 		Result:  res,
 		Stats:   runStats(m.Stats(), time.Since(start)),
@@ -79,6 +91,7 @@ func (p *Program) ProfileChunked(args []int64, copts ChunkedOptions, opts ...Run
 		names:   p.names,
 		nums:    m.Numberings(),
 		workers: copts.Workers,
+		report:  &rep,
 	}, nil
 }
 
