@@ -17,9 +17,15 @@
 //
 // Building from a raw trace loses per-path instruction costs (the trace
 // format does not carry them); analyses then weight every path equally.
+//
+// -verify proves every function's Ball–Larus numbering unique and
+// compact by exhaustive path enumeration before the run, and deep-checks
+// the finished artifact (grammar invariants, chunk geometry, path-ID
+// bounds) before it is written.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -42,6 +48,7 @@ func main() {
 	workload := flag.String("workload", "", "build from a built-in workload")
 	scaleFlag := flag.String("scale", "small", "workload scale (small|medium|large)")
 	chunk := flag.Uint64("chunk", 0, "chunk size in events; >0 builds a chunked artifact with the parallel pipeline")
+	verify := flag.Bool("verify", false, "prove the Ball–Larus numberings and deep-verify the artifact before writing it")
 	workers := flag.Int("workers", 0, "parallel compression workers for -chunk (0 = all cores)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :6060)")
 	progress := flag.Duration("progress", 0, "emit a progress line to stderr at this interval (e.g. 1s)")
@@ -74,6 +81,16 @@ func main() {
 		b := iwpp.NewBuilder(names, nums)
 		b.SetMetrics(met)
 		return b.Add, func(instrs uint64) artifact { return monoArtifact{b.Finish(instrs)} }
+	}
+
+	// With -verify, prove every numbering unique and compact before the
+	// run; the artifact itself is deep-checked after it is built.
+	if *verify {
+		inner := newSink
+		newSink = func(names []string, nums []*bl.Numbering) (func(trace.Event), func(uint64) artifact) {
+			proveNumberings(names, nums)
+			return inner(names, nums)
+		}
 	}
 
 	var a artifact
@@ -110,6 +127,11 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if *verify {
+		if err := verifyArtifact(a); err != nil {
+			fatal(fmt.Errorf("artifact fails deep verification: %w", err))
+		}
 	}
 
 	f, err := os.Create(*out)
@@ -160,6 +182,49 @@ func (a chunkedArtifact) report(n int64, path string) {
 	fmt.Printf("events: %d\nchunks: %d (size %d)\nrules: %d\nrhs symbols: %d\npeak live symbols: %d\nwpc bytes: %d\n-> %s\n",
 		st.Events, st.Chunks, a.c.ChunkSize, st.Rules, st.RHSSymbols, st.PeakLiveRHS, n, path)
 	fmt.Println(a.rep.String())
+}
+
+// proveNumberings runs the exhaustive Ball–Larus proof on every function
+// about to be traced: each numbering must assign every acyclic path a
+// unique ID in a compact [0, NumPaths) range, and Regenerate must invert
+// each ID. Functions with more paths than the proof limit are skipped
+// with a notice (building from a raw trace carries no numberings at all,
+// so there is nothing to prove on that input).
+func proveNumberings(names []string, nums []*bl.Numbering) {
+	proved, skipped := 0, 0
+	for i, n := range nums {
+		if n == nil {
+			continue
+		}
+		if _, err := bl.Prove(n, 0); err != nil {
+			if errors.Is(err, bl.ErrTooManyPaths) {
+				fmt.Fprintf(os.Stderr, "wppbuild: bl: %s: proof skipped (%v)\n", names[i], err)
+				skipped++
+				continue
+			}
+			fatal(fmt.Errorf("numbering proof failed for %s: %w", names[i], err))
+		}
+		proved++
+	}
+	fmt.Printf("bl: proved %d/%d numbering(s) unique+compact (%d skipped)\n", proved, len(nums), skipped)
+}
+
+// verifyArtifact deep-checks the built artifact (grammar invariants,
+// chunk geometry, path-ID bounds) and prints the verification report.
+func verifyArtifact(a artifact) error {
+	var rep iwpp.VerifyReport
+	var err error
+	switch t := a.(type) {
+	case monoArtifact:
+		rep, err = t.w.VerifyArtifact()
+	case chunkedArtifact:
+		rep, err = t.c.VerifyArtifact()
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep.String())
+	return nil
 }
 
 type sinkFactory func(names []string, nums []*bl.Numbering) (func(trace.Event), func(uint64) artifact)

@@ -7,18 +7,32 @@
 // ("WPC1"). -dump works on either; -dot, -profile, and -funcs need the
 // monolithic grammar and reject chunked artifacts with an error.
 //
+// -verify runs the deep artifact checker (SEQUITUR grammar invariants,
+// chunk geometry, path-ID bounds) before printing statistics, and exits
+// nonzero on any violation. Adding -workload name recompiles the named
+// built-in workload, cross-checks the artifact's function table against
+// the recompiled program, proves every Ball–Larus numbering unique and
+// compact by exhaustive path enumeration, and regenerates each distinct
+// traced path ID back to a block sequence.
+//
 // Usage:
 //
 //	wppstats [-dump n] [-profile n] [-funcs] [-dot] file.wpp
+//	wppstats -verify [-workload name] file.wpp
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/bl"
 	"repro/internal/hotpath"
+	"repro/internal/interp"
 	"repro/internal/trace"
+	"repro/internal/wlc"
+	"repro/internal/workloads"
 	iwpp "repro/internal/wpp"
 )
 
@@ -27,8 +41,10 @@ func main() {
 	profile := flag.Int("profile", 0, "also print the top n entries of the recovered path profile")
 	funcs := flag.Bool("funcs", false, "also print the per-function cost profile")
 	dot := flag.Bool("dot", false, "print the grammar DAG in Graphviz DOT form and exit")
+	verify := flag.Bool("verify", false, "deep-verify the artifact (grammar invariants, path-ID bounds) before printing statistics")
+	workload := flag.String("workload", "", "with -verify: cross-check against this built-in workload and prove its Ball–Larus numberings")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: wppstats [-dump n] [-profile n] [-funcs] [-dot] file.wpp\n")
+		fmt.Fprintf(os.Stderr, "usage: wppstats [-dump n] [-profile n] [-funcs] [-dot] [-verify [-workload name]] file.wpp\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -45,12 +61,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *workload != "" && !*verify {
+		fatal(fmt.Errorf("-workload requires -verify"))
+	}
 	if cw != nil {
-		chunkedStats(cw, *dump, *profile, *funcs, *dot)
+		chunkedStats(cw, *dump, *profile, *funcs, *dot, *verify, *workload)
 		return
 	}
 	if err := w.Verify(); err != nil {
 		fatal(fmt.Errorf("artifact fails verification: %w", err))
+	}
+	if *verify {
+		rep, err := w.VerifyArtifact()
+		if err != nil {
+			fatal(fmt.Errorf("artifact fails deep verification: %w", err))
+		}
+		fmt.Println(rep.String())
+		if *workload != "" {
+			verifyAgainstWorkload(*workload, w.Funcs, w.Walk)
+		}
 	}
 	name := func(e trace.Event) string {
 		if int(e.Func()) < len(w.Funcs) {
@@ -109,7 +138,7 @@ func main() {
 // chunkedStats is the chunked-artifact branch: structure statistics plus
 // -dump (the trace walk works per chunk). The grammar-level views need
 // the single monolithic grammar and are rejected.
-func chunkedStats(c *iwpp.ChunkedWPP, dump, profile int, funcs, dot bool) {
+func chunkedStats(c *iwpp.ChunkedWPP, dump, profile int, funcs, dot, verify bool, workload string) {
 	if dot {
 		fatal(fmt.Errorf("-dot supports only monolithic artifacts (chunked artifacts have one grammar per chunk)"))
 	}
@@ -118,6 +147,16 @@ func chunkedStats(c *iwpp.ChunkedWPP, dump, profile int, funcs, dot bool) {
 	}
 	if err := c.Verify(); err != nil {
 		fatal(fmt.Errorf("artifact fails verification: %w", err))
+	}
+	if verify {
+		rep, err := c.VerifyArtifact()
+		if err != nil {
+			fatal(fmt.Errorf("artifact fails deep verification: %w", err))
+		}
+		fmt.Println(rep.String())
+		if workload != "" {
+			verifyAgainstWorkload(workload, c.Funcs, c.Walk)
+		}
 	}
 	st := c.Stats()
 	raw, enc := c.RawTraceBytes(), c.EncodedBytes()
@@ -145,6 +184,77 @@ func chunkedStats(c *iwpp.ChunkedWPP, dump, profile int, funcs, dot bool) {
 			return n < dump
 		})
 	}
+}
+
+// verifyAgainstWorkload recompiles the named built-in workload and holds
+// the artifact to it: the function tables must agree (names and, where
+// the artifact records them, path counts), every recompiled Ball–Larus
+// numbering must pass the exhaustive uniqueness/compactness proof, and
+// every distinct path ID in the trace must regenerate to a block
+// sequence of the recompiled CFG. Functions with more acyclic paths than
+// the proof limit are reported and skipped, matching the interpreter's
+// own path-explosion guard.
+func verifyAgainstWorkload(name string, funcs []iwpp.FuncInfo, walk func(func(trace.Event) bool)) {
+	wl, err := workloads.ByName(name)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := wlc.Compile(wl.Source)
+	if err != nil {
+		fatal(fmt.Errorf("recompiling workload %s: %w", name, err))
+	}
+	m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: func(trace.Event) {}})
+	if err != nil {
+		fatal(err)
+	}
+	nums := m.Numberings()
+	if len(funcs) != len(nums) {
+		fatal(fmt.Errorf("artifact has %d functions, workload %s compiles to %d", len(funcs), name, len(nums)))
+	}
+	for i, f := range funcs {
+		if f.Name != prog.Funcs[i].Name {
+			fatal(fmt.Errorf("function %d is %q in the artifact but %q in workload %s", i, f.Name, prog.Funcs[i].Name, name))
+		}
+		if f.NumPaths > 0 && f.NumPaths != nums[i].NumPaths {
+			fatal(fmt.Errorf("%s: artifact records %d paths, recompiled numbering has %d", f.Name, f.NumPaths, nums[i].NumPaths))
+		}
+	}
+	proved, skipped := 0, 0
+	for i, n := range nums {
+		if _, err := bl.Prove(n, 0); err != nil {
+			if errors.Is(err, bl.ErrTooManyPaths) {
+				fmt.Printf("bl: %s: skipped (%v)\n", prog.Funcs[i].Name, err)
+				skipped++
+				continue
+			}
+			fatal(fmt.Errorf("numbering proof failed: %w", err))
+		}
+		proved++
+	}
+	var regenerated int
+	var bad error
+	distinct := map[trace.Event]bool{}
+	walk(func(e trace.Event) bool {
+		if distinct[e] {
+			return true
+		}
+		distinct[e] = true
+		if int(e.Func()) >= len(nums) {
+			bad = fmt.Errorf("event %v references function %d beyond the workload's %d", e, e.Func(), len(nums))
+			return false
+		}
+		if _, err := nums[e.Func()].Regenerate(e.Path()); err != nil {
+			bad = fmt.Errorf("event %v fails to regenerate: %w", e, err)
+			return false
+		}
+		regenerated++
+		return true
+	})
+	if bad != nil {
+		fatal(bad)
+	}
+	fmt.Printf("bl: workload %s cross-checked: %d/%d numbering(s) proved unique+compact (%d skipped), %d distinct path(s) regenerated\n",
+		name, proved, len(nums), skipped, regenerated)
 }
 
 func fatal(err error) {

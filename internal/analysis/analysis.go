@@ -1,0 +1,67 @@
+// Package analysis is a self-contained static-analysis framework in the
+// spirit of golang.org/x/tools/go/analysis, built only on the standard
+// library so the repository stays dependency-free. It supplies the
+// Analyzer/Pass/Diagnostic model, a module-aware package loader
+// (load.go), and the repository's custom analyzers encoding the
+// invariants the whole-program-path pipeline relies on:
+//
+//   - nilmetrics: obsv metric handles honor the nil-safe method contract
+//   - atomicalign: 64-bit sync/atomic fields are 8-byte aligned on 32-bit
+//   - lockcopy: values containing locks (or atomics) are never copied
+//   - errwrap: fmt.Errorf in internal/... wraps error args with %w
+//   - noprint: library packages never print to the process's stdout
+//
+// cmd/wppcheck drives all of them over the module; the analysistest
+// subpackage runs a single analyzer over want-comment fixtures.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Category string
+}
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in reports and -only filters.
+	Name string
+	// Doc is a one-line description of the invariant enforced.
+	Doc string
+	// Run inspects one package via the Pass and reports findings.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an analyzer,
+// mirroring x/tools' analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// PkgPath is the package's import path (Pkg.Path()).
+	PkgPath string
+	// Report receives each diagnostic as it is found.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Category: p.Analyzer.Name})
+}
+
+// Inspect walks every file in the pass in depth-first order, calling fn
+// for each node; fn returning false prunes the subtree.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}

@@ -1,0 +1,170 @@
+// Package analysistest runs one analyzer over fixture packages annotated
+// with want comments, mirroring golang.org/x/tools' package of the same
+// name on the standard library only.
+//
+// A fixture lives in testdata/src/<pattern>/ relative to the calling
+// test. Lines that should be flagged carry a comment of the form
+//
+//	x := 1 // want "regexp"
+//	y := 2 // want "first" "second"
+//
+// where each quoted string is a regular expression that must match the
+// message of a distinct diagnostic reported on that line. Diagnostics
+// with no matching want, and wants with no matching diagnostic, fail the
+// test.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// sharedLoader caches one loader (and with it the type-checked standard
+// library and module packages) across all analyzer tests in a process.
+var sharedLoader = sync.OnceValues(func() (*analysis.Loader, error) {
+	return analysis.NewLoader(".")
+})
+
+// Run loads each pattern's fixture package from testdata/src and checks
+// the analyzer's diagnostics against the want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, pattern := range patterns {
+		t.Run(strings.ReplaceAll(pattern, "/", "_"), func(t *testing.T) {
+			runOne(t, loader, testdata, a, pattern)
+		})
+	}
+}
+
+func runOne(t *testing.T, loader *analysis.Loader, testdata string, a *analysis.Analyzer, pattern string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", filepath.FromSlash(pattern))
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("analysistest: fixture dir: %v", err)
+	}
+	pkg, err := loader.LoadDir(dir, pattern)
+	if err != nil {
+		t.Fatalf("analysistest: loading %s: %v", pattern, err)
+	}
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		PkgPath:   pkg.PkgPath,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analysistest: running %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	got := map[key][]string{}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		got[key{pos.Filename, pos.Line}] = append(got[key{pos.Filename, pos.Line}], d.Message)
+	}
+	want := map[key][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), " ")
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, lit := range stringLits(text[len("want "):]) {
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						t.Fatalf("analysistest: %s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, lit, err)
+					}
+					want[key{pos.Filename, pos.Line}] = append(want[key{pos.Filename, pos.Line}], re)
+				}
+			}
+		}
+	}
+
+	for k, res := range want {
+		msgs := got[k]
+		for _, re := range res {
+			matched := -1
+			for i, m := range msgs {
+				if re.MatchString(m) {
+					matched = i
+					break
+				}
+			}
+			if matched < 0 {
+				t.Errorf("%s:%d: no diagnostic matching %q", filepath.Base(k.file), k.line, re)
+				continue
+			}
+			msgs = append(msgs[:matched], msgs[matched+1:]...)
+		}
+		got[k] = msgs
+	}
+	for k, msgs := range got {
+		for _, m := range msgs {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", filepath.Base(k.file), k.line, m)
+		}
+	}
+}
+
+// stringLits extracts the Go string literals ("..." or `...`) from s, in
+// order.
+func stringLits(s string) []string {
+	var out []string
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			j := i + 1
+			for j < len(s) {
+				if s[j] == '\\' {
+					j += 2
+					continue
+				}
+				if s[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j < len(s) {
+				if unq, err := strconv.Unquote(s[i : j+1]); err == nil {
+					out = append(out, unq)
+				}
+				i = j
+			}
+		case '`':
+			if j := strings.IndexByte(s[i+1:], '`'); j >= 0 {
+				out = append(out, s[i+1:i+1+j])
+				i = i + 1 + j
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestNilMetrics(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.NilMetrics,
+		"nilmetrics/obsv", "nilmetrics/consumer")
+}
+
+func TestAtomicAlign(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.AtomicAlign, "atomicalign/a")
+}
+
+func TestLockCopy(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.LockCopy, "lockcopy/a")
+}
+
+func TestErrWrap(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.ErrWrap, "errwrap/internal/a")
+}
+
+func TestNoPrint(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.NoPrint,
+		"noprint/a", "noprint/main")
+}
+
+func TestByName(t *testing.T) {
+	got, err := analysis.ByName([]string{"errwrap", "noprint"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "errwrap" || got[1].Name != "noprint" {
+		t.Fatalf("ByName returned %v", got)
+	}
+	if _, err := analysis.ByName([]string{"nope"}); err == nil {
+		t.Fatal("ByName(nope) should fail")
+	}
+}
+
+func TestAllHaveDocs(t *testing.T) {
+	for _, a := range analysis.All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+	}
+}

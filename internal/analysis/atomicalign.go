@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicAlign flags 64-bit sync/atomic operations on struct fields whose
+// guaranteed alignment is less than 8 bytes on 32-bit platforms. The Go
+// memory model only promises 64-bit alignment for the first word of an
+// allocated struct; a uint64 placed after narrower fields faults (or
+// silently tears) under atomic access on 386/ARM. The fix is mechanical:
+// move the field first, or switch to the self-aligning atomic.Uint64 /
+// atomic.Int64 wrapper types the obsv package uses.
+var AtomicAlign = &Analyzer{
+	Name: "atomicalign",
+	Doc:  "64-bit sync/atomic operands must be 8-byte aligned on 32-bit targets",
+	Run:  runAtomicAlign,
+}
+
+// atomic64Funcs are the sync/atomic functions that require an aligned
+// 64-bit operand as their first argument.
+var atomic64Funcs = map[string]bool{
+	"AddInt64": true, "AddUint64": true,
+	"LoadInt64": true, "LoadUint64": true,
+	"StoreInt64": true, "StoreUint64": true,
+	"SwapInt64": true, "SwapUint64": true,
+	"CompareAndSwapInt64": true, "CompareAndSwapUint64": true,
+}
+
+func runAtomicAlign(pass *Pass) error {
+	// Offsets are computed under 32-bit sizes: that is the platform where
+	// misalignment bites.
+	sizes := types.SizesFor("gc", "386")
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		fn := funcObjOf(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !atomic64Funcs[fn.Name()] {
+			return true
+		}
+		addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+		if !ok || addr.Op != token.AND {
+			return true
+		}
+		sel, ok := ast.Unparen(addr.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.TypesInfo.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		off, known := fieldOffset32(sizes, selection)
+		if known && off%8 != 0 {
+			wrapper := "Int64"
+			if strings.HasSuffix(fn.Name(), "Uint64") {
+				wrapper = "Uint64"
+			}
+			pass.Reportf(sel.Pos(),
+				"%s on field %s at 32-bit offset %d (not 8-byte aligned); move the field first in the struct or use atomic.%s",
+				fn.Name(), sel.Sel.Name, off, wrapper)
+		}
+		return true
+	})
+	return nil
+}
+
+// fieldOffset32 computes the byte offset of the selected field within its
+// outermost struct under 32-bit sizes, following the selection's
+// (possibly promoted) field index path.
+func fieldOffset32(sizes types.Sizes, sel *types.Selection) (int64, bool) {
+	t := deref(sel.Recv())
+	var off int64
+	for _, idx := range sel.Index() {
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok || idx >= st.NumFields() {
+			return 0, false
+		}
+		fields := make([]*types.Var, st.NumFields())
+		for i := range fields {
+			fields[i] = st.Field(i)
+		}
+		off += sizes.Offsetsof(fields)[idx]
+		t = deref(fields[idx].Type())
+	}
+	return off, true
+}

@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ErrWrap flags fmt.Errorf calls in internal/... packages that format an
+// error argument without %w. Un-wrapped errors break errors.Is/As
+// chains, which the pipeline's decoders rely on to distinguish
+// truncation (io.ErrUnexpectedEOF) from corruption at every layer of a
+// nested artifact decode.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "fmt.Errorf in internal packages must wrap error arguments with %w",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(pass *Pass) error {
+	if !isInternalPkg(pass.PkgPath) {
+		return nil
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return true
+		}
+		if !isPkgFunc(funcObjOf(pass.TypesInfo, call), "fmt", "Errorf") {
+			return true
+		}
+		ftv, ok := pass.TypesInfo.Types[call.Args[0]]
+		if !ok || ftv.Value == nil {
+			return true // non-constant format; nothing to prove
+		}
+		format := constStringValue(ftv)
+		if strings.Contains(format, "%w") {
+			return true
+		}
+		for _, arg := range call.Args[1:] {
+			tv, ok := pass.TypesInfo.Types[arg]
+			if !ok || tv.Type == nil {
+				continue
+			}
+			if types.Implements(tv.Type, errType) && !isNilConst(tv) {
+				pass.Reportf(arg.Pos(), "fmt.Errorf formats error argument without %%w; wrap it so errors.Is/As keep working")
+				return true
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// constStringValue extracts the string value of a constant expression.
+func constStringValue(tv types.TypeAndValue) string {
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		return ""
+	}
+	return constant.StringVal(tv.Value)
+}
+
+func isNilConst(tv types.TypeAndValue) bool {
+	_, ok := tv.Type.(*types.Basic)
+	return ok && tv.IsNil()
+}

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// deref removes one level of pointer indirection, if any.
+func deref(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// isAtomicType reports whether t is a named type from sync/atomic
+// (atomic.Uint64, atomic.Int64, atomic.Value, ...).
+func isAtomicType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := n.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// isMetricHandle reports whether t (a named type) is an obsv-style metric
+// handle: a struct declared in a package named "obsv" with at least one
+// field of a sync/atomic type (directly or as a slice/array element).
+// These are the types whose pointer methods promise nil-safety.
+func isMetricHandle(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil || n.Obj().Pkg().Name() != "obsv" {
+		return false
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		switch e := ft.Underlying().(type) {
+		case *types.Slice:
+			ft = e.Elem()
+		case *types.Array:
+			ft = e.Elem()
+		}
+		if isAtomicType(ft) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasLockMethods reports whether *t (or t) has both Lock and Unlock
+// methods, the signature sync.Mutex and sync/atomic's noCopy sentinel
+// share.
+func hasLockMethods(t types.Type) bool {
+	ms := types.NewMethodSet(types.NewPointer(t))
+	var lock, unlock bool
+	for i := 0; i < ms.Len(); i++ {
+		switch ms.At(i).Obj().Name() {
+		case "Lock":
+			lock = true
+		case "Unlock":
+			unlock = true
+		}
+	}
+	return lock && unlock
+}
+
+// lockPath returns a human-readable path to a lock inside t ("sync.Mutex",
+// "field mu: sync.Mutex", ...) or "" if t contains no lock. It mirrors
+// vet's copylocks reasoning: a type is copy-hostile if it or any field
+// (transitively, including array elements) has Lock/Unlock methods.
+func lockPath(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	// A pointer to a lock is fine to copy; only value containment counts.
+	if _, ok := t.Underlying().(*types.Pointer); ok {
+		return ""
+	}
+	if hasLockMethods(t) {
+		return types.TypeString(t, types.RelativeTo(nil))
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if p := lockPath(f.Type(), seen); p != "" {
+				return "field " + f.Name() + ": " + p
+			}
+		}
+	case *types.Array:
+		if p := lockPath(u.Elem(), seen); p != "" {
+			return "array element: " + p
+		}
+	}
+	return ""
+}
+
+// isInternalPkg reports whether path names a package under internal/.
+func isInternalPkg(path string) bool {
+	return strings.Contains(path, "/internal/") || strings.HasSuffix(path, "/internal")
+}
+
+// funcObjOf resolves the called function object of a call expression, or
+// nil when the callee is not a simple named function or method.
+func funcObjOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isPkgFunc reports whether f is the named function from the named
+// package path.
+func isPkgFunc(f *types.Func, pkgPath, name string) bool {
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == pkgPath && f.Name() == name
+}

@@ -1,0 +1,267 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked package.
+type Package struct {
+	PkgPath string
+	Name    string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Loader loads and type-checks packages of one Go module using only the
+// standard library: package metadata comes from `go list -json`, module
+// packages are type-checked from source in dependency order, and
+// imports outside the module (the standard library) are resolved by the
+// stdlib source importer. x/tools' go/packages would do all of this, but
+// the repository deliberately has no external dependencies.
+type Loader struct {
+	fset    *token.FileSet
+	src     types.ImporterFrom
+	done    map[string]*Package
+	modPath string
+	modDir  string
+}
+
+// NewLoader returns a loader rooted at the module containing dir.
+func NewLoader(dir string) (*Loader, error) {
+	out, err := goTool(dir, "list", "-m", "-json")
+	if err != nil {
+		return nil, fmt.Errorf("analysis: resolving module: %w", err)
+	}
+	var mod struct{ Path, Dir string }
+	if err := json.Unmarshal(out, &mod); err != nil {
+		return nil, fmt.Errorf("analysis: parsing module metadata: %w", err)
+	}
+	l := &Loader{
+		fset:    token.NewFileSet(),
+		done:    map[string]*Package{},
+		modPath: mod.Path,
+		modDir:  mod.Dir,
+	}
+	srcImp, ok := importer.ForCompiler(l.fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("analysis: source importer unavailable")
+	}
+	l.src = srcImp
+	return l, nil
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// listMeta is the subset of `go list -json` output the loader needs.
+type listMeta struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+}
+
+// Load resolves the patterns (e.g. "./...") against the module and
+// returns the matched packages, type-checked, in import-path order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	out, err := goTool(l.modDir, append([]string{"list", "-json=ImportPath,Name,Dir,GoFiles,Imports,Standard"}, patterns...)...)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %w", strings.Join(patterns, " "), err)
+	}
+	var metas []listMeta
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var m listMeta
+		if err := dec.Decode(&m); err != nil {
+			return nil, fmt.Errorf("analysis: parsing go list output: %w", err)
+		}
+		metas = append(metas, m)
+	}
+	pkgs := make([]*Package, 0, len(metas))
+	for _, m := range metas {
+		p, err := l.loadMeta(m)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
+	return pkgs, nil
+}
+
+// loadMeta type-checks the package described by m, loading its module
+// dependencies first.
+func (l *Loader) loadMeta(m listMeta) (*Package, error) {
+	if p, ok := l.done[m.ImportPath]; ok {
+		return p, nil
+	}
+	// Dependencies within the module must be checked first so the
+	// importer can hand out their *types.Package.
+	for _, imp := range m.Imports {
+		if l.inModule(imp) {
+			if _, err := l.loadPath(imp); err != nil {
+				return nil, err
+			}
+		}
+	}
+	files := make([]*ast.File, 0, len(m.GoFiles))
+	for _, name := range m.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(m.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(m.ImportPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", m.ImportPath, err)
+	}
+	p := &Package{
+		PkgPath: m.ImportPath,
+		Name:    m.Name,
+		Dir:     m.Dir,
+		Fset:    l.fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}
+	l.done[m.ImportPath] = p
+	return p, nil
+}
+
+// loadPath loads a single module package by import path.
+func (l *Loader) loadPath(path string) (*Package, error) {
+	if p, ok := l.done[path]; ok {
+		return p, nil
+	}
+	out, err := goTool(l.modDir, "list", "-json=ImportPath,Name,Dir,GoFiles,Imports,Standard", path)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %w", path, err)
+	}
+	var m listMeta
+	if err := json.Unmarshal(out, &m); err != nil {
+		return nil, fmt.Errorf("analysis: parsing go list output for %s: %w", path, err)
+	}
+	return l.loadMeta(m)
+}
+
+// LoadDir parses and type-checks all non-test .go files of one directory
+// as a single package with the given import path. It exists for fixture
+// packages (analysistest) that live outside the module's package tree.
+func (l *Loader) LoadDir(dir, pkgPath string) (*Package, error) {
+	if p, ok := l.done[pkgPath]; ok {
+		return p, nil
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(pkgPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", dir, err)
+	}
+	p := &Package{
+		PkgPath: pkgPath,
+		Name:    tpkg.Name(),
+		Dir:     dir,
+		Fset:    l.fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}
+	l.done[pkgPath] = p
+	return p, nil
+}
+
+// inModule reports whether path names a package inside the loaded module.
+func (l *Loader) inModule(path string) bool {
+	return path == l.modPath || strings.HasPrefix(path, l.modPath+"/")
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.modDir, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module packages come from the
+// loader's own cache (loading them on demand), everything else from the
+// standard library's source importer.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.done[path]; ok {
+		return p.Types, nil
+	}
+	if l.inModule(path) {
+		p, err := l.loadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.src.ImportFrom(path, dir, 0)
+}
+
+// goTool runs the go command in dir and returns its stdout.
+func goTool(dir string, args ...string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %s: %w: %s", strings.Join(args, " "), err, bytes.TrimSpace(stderr.Bytes()))
+	}
+	return stdout.Bytes(), nil
+}

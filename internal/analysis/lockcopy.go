@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockCopy flags copies of values that contain a lock: sync.Mutex and
+// friends, and — because the sync/atomic wrapper types carry a noCopy
+// sentinel with Lock/Unlock methods — any struct holding atomic.Uint64
+// et al., which includes every obsv metric handle. A copied lock guards
+// nothing, and a copied atomic splits one counter into two.
+//
+// The check is deliberately conservative (a subset of vet's copylocks):
+// it reports by-value receivers, parameters, and results in function
+// signatures, assignments whose right-hand side re-copies an existing
+// lock-bearing value, and range loops whose element copies one.
+var LockCopy = &Analyzer{
+	Name: "lockcopy",
+	Doc:  "values containing sync or sync/atomic state must not be copied",
+	Run:  runLockCopy,
+}
+
+func runLockCopy(pass *Pass) error {
+	checkSig := func(ft *ast.FuncType, recv *ast.FieldList) {
+		var lists []*ast.FieldList
+		if recv != nil {
+			lists = append(lists, recv)
+		}
+		if ft.Params != nil {
+			lists = append(lists, ft.Params)
+		}
+		if ft.Results != nil {
+			lists = append(lists, ft.Results)
+		}
+		for _, fl := range lists {
+			for _, field := range fl.List {
+				tv, ok := pass.TypesInfo.Types[field.Type]
+				if !ok || !tv.IsType() {
+					continue
+				}
+				if p := lockPath(tv.Type, nil); p != "" {
+					pass.Reportf(field.Type.Pos(), "by-value %s copies lock: %s; pass a pointer",
+						fieldRole(fl, recv, ft), p)
+				}
+			}
+		}
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			checkSig(n.Type, n.Recv)
+		case *ast.FuncLit:
+			checkSig(n.Type, nil)
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				if !copiesExisting(rhs) {
+					continue
+				}
+				tv, ok := pass.TypesInfo.Types[rhs]
+				if !ok || !tv.IsValue() {
+					continue
+				}
+				if p := lockPath(tv.Type, nil); p != "" {
+					pass.Reportf(n.Pos(), "assignment copies lock value: %s", p)
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Value == nil {
+				return true
+			}
+			// A := range defines its value ident, so its type lives in
+			// Defs; an = range assigns to an existing expression, whose
+			// type lives in Types.
+			var t types.Type
+			if id, ok := n.Value.(*ast.Ident); ok {
+				if id.Name == "_" {
+					return true
+				}
+				if obj := pass.TypesInfo.Defs[id]; obj != nil {
+					t = obj.Type()
+				}
+			}
+			if t == nil {
+				if tv, ok := pass.TypesInfo.Types[n.Value]; ok {
+					t = tv.Type
+				}
+			}
+			if p := lockPath(t, nil); p != "" {
+				pass.Reportf(n.Value.Pos(), "range element copies lock value: %s; iterate by index", p)
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// copiesExisting reports whether e reads an existing value (identifier,
+// field, element, or dereference) rather than constructing a fresh one
+// (composite literal, call, conversion), mirroring copylocks' notion of
+// a copy.
+func copiesExisting(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.UnaryExpr:
+		return copiesExisting(e.X)
+	}
+	return false
+}
+
+// fieldRole names the position of a flagged signature field.
+func fieldRole(fl *ast.FieldList, recv *ast.FieldList, ft *ast.FuncType) string {
+	switch {
+	case fl == recv:
+		return "receiver"
+	case fl == ft.Results:
+		return "result"
+	default:
+		return "parameter"
+	}
+}

@@ -1,0 +1,291 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NilMetrics enforces the obsv metric-handle contract from both sides:
+//
+//   - Inside a package named "obsv", every exported method with a pointer
+//     receiver on a metric-handle type (a struct carrying sync/atomic
+//     fields) must nil-check the receiver before touching its fields.
+//     The whole pipeline instruments hot paths through possibly-nil
+//     handles, so one missing guard turns "disabled metrics" into a
+//     crash.
+//   - In every other package, handles must stay behind pointers: value
+//     fields, value declarations, copies via dereference, and bare
+//     composite literals all defeat the nil-disables-it contract (and
+//     copy atomic state).
+var NilMetrics = &Analyzer{
+	Name: "nilmetrics",
+	Doc:  "obsv metric handles: nil-guarded methods inside obsv, pointer-only usage outside",
+	Run:  runNilMetrics,
+}
+
+func runNilMetrics(pass *Pass) error {
+	if pass.Pkg.Name() == "obsv" {
+		checkHandleMethodGuards(pass)
+	}
+	checkHandleUsage(pass)
+	return nil
+}
+
+// checkHandleMethodGuards verifies that exported pointer-receiver methods
+// on handle types access receiver fields only on paths where the
+// receiver is known non-nil.
+func checkHandleMethodGuards(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+				continue
+			}
+			recvIdent := fd.Recv.List[0].Names[0]
+			recvObj := pass.TypesInfo.Defs[recvIdent]
+			if recvObj == nil {
+				continue
+			}
+			ptr, ok := recvObj.Type().(*types.Pointer)
+			if !ok || !isMetricHandle(ptr.Elem()) {
+				continue
+			}
+			g := &guardWalker{pass: pass, recv: recvObj, method: fd.Name.Name}
+			g.block(fd.Body.List, false)
+		}
+	}
+}
+
+// guardWalker tracks, statement by statement, whether the receiver is
+// known non-nil, and reports the first receiver field access on an
+// unguarded path.
+type guardWalker struct {
+	pass     *Pass
+	recv     types.Object
+	method   string
+	reported bool
+}
+
+// block walks a statement list; guarded says whether the receiver is
+// known non-nil on entry. An early `if recv == nil { return }` upgrades
+// the rest of the block.
+func (g *guardWalker) block(stmts []ast.Stmt, guarded bool) {
+	for _, s := range stmts {
+		guarded = g.stmt(s, guarded)
+	}
+}
+
+// stmt walks one statement and returns the guard state for the
+// statements that follow it in the same block.
+func (g *guardWalker) stmt(s ast.Stmt, guarded bool) bool {
+	switch st := s.(type) {
+	case *ast.IfStmt:
+		if st.Init != nil {
+			g.checkExprs(st.Init, guarded)
+		}
+		switch g.nilCond(st.Cond) {
+		case condRecvIsNil:
+			// Inside the body the receiver IS nil.
+			g.block(st.Body.List, false)
+			if st.Else != nil {
+				g.stmt(st.Else, true)
+			}
+			if terminates(st.Body) {
+				return true
+			}
+			return guarded
+		case condRecvNonNil:
+			g.block(st.Body.List, true)
+			if st.Else != nil {
+				g.stmt(st.Else, guarded)
+			}
+			return guarded
+		default:
+			g.checkExprs(st.Cond, guarded)
+			g.block(st.Body.List, guarded)
+			if st.Else != nil {
+				g.stmt(st.Else, guarded)
+			}
+			return guarded
+		}
+	case *ast.BlockStmt:
+		g.block(st.List, guarded)
+		return guarded
+	case *ast.ForStmt:
+		if st.Init != nil {
+			g.checkExprs(st.Init, guarded)
+		}
+		if st.Cond != nil {
+			g.checkExprs(st.Cond, guarded)
+		}
+		if st.Post != nil {
+			g.checkExprs(st.Post, guarded)
+		}
+		g.block(st.Body.List, guarded)
+		return guarded
+	case *ast.RangeStmt:
+		g.checkExprs(st.X, guarded)
+		g.block(st.Body.List, guarded)
+		return guarded
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		g.checkExprs(st, guarded)
+		return guarded
+	default:
+		g.checkExprs(st, guarded)
+		return guarded
+	}
+}
+
+type nilCondKind int
+
+const (
+	condOther nilCondKind = iota
+	condRecvIsNil
+	condRecvNonNil
+)
+
+// nilCond classifies `recv == nil` / `recv != nil` conditions.
+func (g *guardWalker) nilCond(e ast.Expr) nilCondKind {
+	be, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return condOther
+	}
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	isRecv := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && g.pass.TypesInfo.Uses[id] == g.recv
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	if (isRecv(x) && isNil(y)) || (isRecv(y) && isNil(x)) {
+		if be.Op == token.EQL {
+			return condRecvIsNil
+		}
+		return condRecvNonNil
+	}
+	return condOther
+}
+
+// checkExprs reports receiver field accesses inside n when unguarded.
+func (g *guardWalker) checkExprs(n ast.Node, guarded bool) {
+	if guarded || g.reported {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if g.reported {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok || g.pass.TypesInfo.Uses[id] != g.recv {
+			return true
+		}
+		if s, ok := g.pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+			g.reported = true
+			g.pass.Reportf(sel.Pos(), "method %s accesses %s.%s before checking %s != nil; obsv handle methods must be nil-safe",
+				g.method, id.Name, sel.Sel.Name, id.Name)
+			return false
+		}
+		return true
+	})
+}
+
+// terminates reports whether the block always transfers control out
+// (ends in return or panic).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}
+
+// checkHandleUsage flags by-value use of metric handles outside their
+// defining package.
+func checkHandleUsage(pass *Pass) {
+	foreignHandle := func(t types.Type) bool {
+		n, ok := t.(*types.Named)
+		return ok && isMetricHandle(t) && n.Obj().Pkg() != pass.Pkg
+	}
+	// Composite literals directly under & construct a pointer; allow them.
+	addressed := map[*ast.CompositeLit]bool{}
+	pass.Inspect(func(n ast.Node) bool {
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			if cl, ok := ast.Unparen(u.X).(*ast.CompositeLit); ok {
+				addressed[cl] = true
+			}
+		}
+		return true
+	})
+	checkTypeExpr := func(te ast.Expr, what string) {
+		tv, ok := pass.TypesInfo.Types[te]
+		if !ok || !tv.IsType() {
+			return
+		}
+		t := tv.Type
+		switch u := t.Underlying().(type) {
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		}
+		if foreignHandle(t) {
+			pass.Reportf(te.Pos(), "%s declared as obsv handle value type %s; use *%s so a nil handle disables it",
+				what, types.TypeString(t, types.RelativeTo(pass.Pkg)), types.TypeString(t, types.RelativeTo(pass.Pkg)))
+		}
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Field:
+			if n.Type != nil {
+				checkTypeExpr(n.Type, "field or parameter")
+			}
+		case *ast.ValueSpec:
+			if n.Type != nil {
+				checkTypeExpr(n.Type, "variable")
+			}
+		case *ast.CompositeLit:
+			if addressed[n] {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[n]
+			if ok && foreignHandle(tv.Type) {
+				pass.Reportf(n.Pos(), "composite literal copies obsv handle type %s by value; construct with & and share the pointer",
+					types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+			}
+		case *ast.StarExpr:
+			tv, ok := pass.TypesInfo.Types[n]
+			if !ok || !tv.IsValue() {
+				return true
+			}
+			xt, ok := pass.TypesInfo.Types[n.X]
+			if !ok {
+				return true
+			}
+			if p, ok := xt.Type.Underlying().(*types.Pointer); ok && foreignHandle(p.Elem()) {
+				pass.Reportf(n.Pos(), "dereferencing obsv handle %s copies its atomic state and bypasses the nil-safe methods",
+					types.TypeString(xt.Type, types.RelativeTo(pass.Pkg)))
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoPrint forbids writing to the process's standard streams from library
+// packages: fmt.Print/Printf/Println, the print/println builtins, and any
+// direct reference to os.Stdout or os.Stderr. Only package main (the
+// cmd/ and examples/ trees) owns the terminal; libraries take an
+// io.Writer so output stays testable and silent by default — the
+// convention wppbuild's -progress plumbing depends on.
+var NoPrint = &Analyzer{
+	Name: "noprint",
+	Doc:  "library packages must not print to stdout/stderr; accept an io.Writer instead",
+	Run:  runNoPrint,
+}
+
+func runNoPrint(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := funcObjOf(pass.TypesInfo, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+				switch fn.Name() {
+				case "Print", "Printf", "Println":
+					pass.Reportf(n.Pos(), "fmt.%s writes to stdout from library package %s; print only from cmd/ or take an io.Writer", fn.Name(), pass.Pkg.Name())
+				}
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && (b.Name() == "print" || b.Name() == "println") {
+					pass.Reportf(n.Pos(), "builtin %s writes to stderr from library package %s", b.Name(), pass.Pkg.Name())
+				}
+			}
+		case *ast.SelectorExpr:
+			obj := pass.TypesInfo.Uses[n.Sel]
+			v, ok := obj.(*types.Var)
+			if !ok || v.Pkg() == nil || v.Pkg().Path() != "os" {
+				return true
+			}
+			if v.Name() == "Stdout" || v.Name() == "Stderr" {
+				pass.Reportf(n.Pos(), "os.%s referenced from library package %s; take an io.Writer from the caller instead", v.Name(), pass.Pkg.Name())
+			}
+		}
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,46 @@
+// Fixture: 64-bit sync/atomic calls on struct fields. Offsets are judged
+// under 32-bit (386) sizes, where int64 fields align to 4 bytes.
+package a
+
+import "sync/atomic"
+
+type counters struct {
+	hits int64 // offset 0: aligned everywhere
+	flag uint32
+	miss int64 // offset 12 on 386: misaligned
+}
+
+type mixed struct {
+	pad  uint32
+	seen uint64 // offset 4 on 386: misaligned
+}
+
+type wrapped struct {
+	flag uint32
+	n    atomic.Int64 // self-aligning wrapper: ok
+}
+
+func bump(c *counters) {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.miss, 1) // want `AddInt64 on field miss at 32-bit offset 12`
+}
+
+func read(c *counters, m *mixed) (int64, uint64) {
+	a := atomic.LoadInt64(&c.miss)  // want `LoadInt64 on field miss at 32-bit offset 12`
+	b := atomic.LoadUint64(&m.seen) // want `LoadUint64 on field seen at 32-bit offset 4`
+	return a, b
+}
+
+func swap(m *mixed) {
+	atomic.StoreUint64(&m.seen, 0)             // want `StoreUint64 on field seen at 32-bit offset 4`
+	atomic.CompareAndSwapUint64(&m.seen, 0, 1) // want `CompareAndSwapUint64 on field seen at 32-bit offset 4`
+}
+
+func local() {
+	var g int64
+	atomic.AddInt64(&g, 1) // non-field operand: allocator guarantees alignment
+}
+
+func viaWrapper(w *wrapped) int64 {
+	return w.n.Load() // wrapper types align themselves: ok
+}

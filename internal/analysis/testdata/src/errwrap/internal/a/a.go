@@ -1,0 +1,35 @@
+// Fixture: fmt.Errorf in an internal package. Error arguments must be
+// wrapped with %w so errors.Is/As keep seeing the cause.
+package a
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var errBase = errors.New("base")
+
+func wrapOK(err error) error {
+	return fmt.Errorf("decode: %w", err)
+}
+
+func wrapBad(err error) error {
+	return fmt.Errorf("decode: %v", err) // want `fmt\.Errorf formats error argument without %w`
+}
+
+func wrapVar() error {
+	return fmt.Errorf("read header: %s", io.EOF) // want `formats error argument without %w`
+}
+
+func wrapSecond(n int, err error) error {
+	return fmt.Errorf("chunk %d: %v", n, err) // want `formats error argument without %w`
+}
+
+func noError(n int) error {
+	return fmt.Errorf("bad count %d", n) // no error argument: ok
+}
+
+func plain() error {
+	return errBase
+}

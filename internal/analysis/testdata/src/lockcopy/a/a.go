@@ -1,0 +1,71 @@
+// Fixture: copies of lock-bearing values. sync.Mutex directly, structs
+// embedding one, and structs holding sync/atomic wrapper types (whose
+// noCopy sentinel has Lock/Unlock) must all move by pointer.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type metrics struct {
+	hits atomic.Uint64
+}
+
+func lockArg(mu sync.Mutex) { // want `by-value parameter copies lock: sync\.Mutex`
+	mu.Lock()
+}
+
+func byValue(g guarded) int { // want `by-value parameter copies lock: field mu: sync\.Mutex`
+	return g.n
+}
+
+func (g guarded) Size() int { // want `by-value receiver copies lock`
+	return g.n
+}
+
+func produce() guarded { // want `by-value result copies lock`
+	return guarded{}
+}
+
+func viaPointer(g *guarded) int { // pointer: ok
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func copies() {
+	var a guarded
+	b := a // want `assignment copies lock value: field mu: sync\.Mutex`
+	use(&b)
+
+	var m metrics
+	m2 := m // want `assignment copies lock value`
+	touch(&m2)
+
+	fresh := guarded{} // constructing a fresh value is not a copy: ok
+	use(&fresh)
+
+	discard() // blank assignment still copies; see below
+
+	var list [2]guarded
+	for _, g := range list { // want `range element copies lock value`
+		use(&g)
+	}
+	for i := range list { // index iteration: ok
+		_ = i
+	}
+}
+
+func discard() {
+	var a guarded
+	_ = a // want `assignment copies lock value`
+}
+
+func use(*guarded)   {}
+func touch(*metrics) {}

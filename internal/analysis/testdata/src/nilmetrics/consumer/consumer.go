@@ -1,0 +1,36 @@
+// Fixture: a package consuming the real obsv handles. Handles must stay
+// behind pointers so a nil handle disables the metric instead of
+// crashing or silently splitting its atomic state.
+package consumer
+
+import "repro/internal/obsv"
+
+type stats struct {
+	hits obsv.Counter // want `field or parameter declared as obsv handle value type`
+	ok   *obsv.Counter
+}
+
+var global obsv.Counter // want `variable declared as obsv handle value type`
+
+var pool []obsv.Counter // want `variable declared as obsv handle value type`
+
+func count(c obsv.Counter) { // want `field or parameter declared as obsv handle value type`
+	c.Inc()
+}
+
+func produce() obsv.Counter { // want `field or parameter declared as obsv handle value type`
+	return obsv.Counter{} // want `composite literal copies obsv handle type`
+}
+
+func fresh() *obsv.Counter {
+	return &obsv.Counter{} // addressed literal constructs a pointer: ok
+}
+
+func snapshot(c *obsv.Counter) uint64 {
+	v := *c // want `dereferencing obsv handle`
+	return v.Value()
+}
+
+func use(s *stats) {
+	s.ok.Inc() // pointer use: ok
+}

@@ -1,0 +1,55 @@
+// Fixture: a miniature obsv package. The analyzer must enforce the
+// nil-safe method contract on exported pointer-receiver methods of
+// handle types (structs carrying sync/atomic fields).
+package obsv
+
+import "sync/atomic"
+
+// Counter is a metric handle: its methods must tolerate a nil receiver.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Inc guards with the early-return form: ok.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.n.Add(1)
+}
+
+// Value guards with the non-nil-branch form: ok.
+func (c *Counter) Value() uint64 {
+	if c != nil {
+		return c.n.Load()
+	}
+	return 0
+}
+
+// Bump forgets the guard entirely.
+func (c *Counter) Bump() {
+	c.n.Add(1) // want `method Bump accesses c\.n before checking c != nil`
+}
+
+// Scale checks something else first, which proves nothing about c.
+func (c *Counter) Scale(k uint64) {
+	if k == 0 {
+		return
+	}
+	c.n.Store(c.n.Load() * k) // want `method Scale accesses c\.n before checking c != nil`
+}
+
+// reset is unexported; the contract covers only the exported API.
+func (c *Counter) reset() {
+	c.n.Store(0)
+}
+
+// Plain has no atomic state, so it is not a handle: no guard required.
+type Plain struct {
+	Name string
+}
+
+// Label needs no nil check.
+func (p *Plain) Label() string {
+	return p.Name
+}

@@ -1,0 +1,27 @@
+// Fixture: a library package must not write to the process streams;
+// output goes through an io.Writer supplied by the caller.
+package a
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+func Report(w io.Writer, n int) {
+	fmt.Fprintf(w, "n=%d\n", n) // explicit writer: ok
+}
+
+func Bad(n int) {
+	fmt.Println("n =", n) // want `fmt\.Println writes to stdout from library package`
+	fmt.Printf("%d\n", n) // want `fmt\.Printf writes to stdout from library package`
+	print("x")            // want `builtin print writes to stderr from library package`
+}
+
+func Out() io.Writer {
+	return os.Stdout // want `os\.Stdout referenced from library package`
+}
+
+func Errs() io.Writer {
+	return os.Stderr // want `os\.Stderr referenced from library package`
+}

@@ -1,0 +1,12 @@
+// Fixture: package main owns the terminal; printing is allowed.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	fmt.Println("ok")
+	fmt.Fprintln(os.Stderr, "also ok")
+}

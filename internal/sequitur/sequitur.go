@@ -437,9 +437,10 @@ func (sn *Snapshot) Expand(ri int, yield func(uint64) bool) bool {
 // Digram uniqueness is deliberately NOT enforced exactly: as in
 // Nevill-Manning and Witten's published implementation, seam handling
 // around substitutions and rule expansion can leave rare duplicate or
-// unindexed digrams. DigramDuplicates reports how many exist; tests bound
-// it rather than requiring zero. Verify is meant for tests; it walks the
-// whole grammar.
+// unindexed digrams. DigramDuplicates and UnindexedDigrams report how
+// many exist in each direction of the index/chain cross-check; tests
+// bound them rather than requiring zero. Verify is meant for tests; it
+// walks the whole grammar.
 func (g *Grammar) Verify() error {
 	seen := map[*rule]bool{g.start: true}
 	queue := []*rule{g.start}

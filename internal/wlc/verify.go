@@ -3,6 +3,7 @@ package wlc
 import (
 	"fmt"
 
+	"repro/internal/cfg"
 	"repro/internal/wl"
 )
 
@@ -21,6 +22,68 @@ func (p *Program) Verify() error {
 	return nil
 }
 
+// verifyGraph re-validates the CFG shape independently of cfg.Finish
+// (corruption after compilation must be caught, not assumed away): entry
+// and exit in range, every jump target a real block, every block
+// reachable from the entry, and the exit reachable from every block.
+// Reachability-to-exit follows Succs (not the Preds cache, which a
+// corrupted graph may leave stale).
+func (p *Program) verifyGraph(f *Func, errf func(string, ...any) error) error {
+	nb := f.Graph.NumBlocks()
+	if int(f.Graph.Entry) < 0 || int(f.Graph.Entry) >= nb {
+		return errf("entry block %d out of range [0,%d)", f.Graph.Entry, nb)
+	}
+	if int(f.Graph.Exit) < 0 || int(f.Graph.Exit) >= nb {
+		return errf("exit block %d out of range [0,%d)", f.Graph.Exit, nb)
+	}
+	rev := make([][]cfg.BlockID, nb)
+	for _, blk := range f.Graph.Blocks() {
+		for _, s := range blk.Succs {
+			if int(s) < 0 || int(s) >= nb {
+				return errf("block %d: jump target %d out of range [0,%d)", blk.ID, s, nb)
+			}
+			rev[s] = append(rev[s], blk.ID)
+		}
+	}
+	reachesExit := make([]bool, nb)
+	stack := []cfg.BlockID{f.Graph.Exit}
+	reachesExit[f.Graph.Exit] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, pred := range rev[b] {
+			if !reachesExit[pred] {
+				reachesExit[pred] = true
+				stack = append(stack, pred)
+			}
+		}
+	}
+	for b, ok := range reachesExit {
+		if !ok {
+			return errf("block %d cannot reach the exit", b)
+		}
+	}
+	fromEntry := make([]bool, nb)
+	stack = append(stack, f.Graph.Entry)
+	fromEntry[f.Graph.Entry] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range f.Graph.Block(b).Succs {
+			if !fromEntry[s] {
+				fromEntry[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	for b, ok := range fromEntry {
+		if !ok {
+			return errf("block %d unreachable from the entry", b)
+		}
+	}
+	return nil
+}
+
 func (p *Program) verifyFunc(f *Func) error {
 	errf := func(format string, args ...any) error {
 		return fmt.Errorf("wlc: verify %s: %s", f.Name, fmt.Sprintf(format, args...))
@@ -30,6 +93,9 @@ func (p *Program) verifyFunc(f *Func) error {
 	}
 	if len(f.Code) != f.Graph.NumBlocks() || len(f.Terms) != f.Graph.NumBlocks() {
 		return errf("code/terminator tables sized %d/%d for %d blocks", len(f.Code), len(f.Terms), f.Graph.NumBlocks())
+	}
+	if err := p.verifyGraph(f, errf); err != nil {
+		return err
 	}
 	checkReg := func(r int32, what string, b int) error {
 		if r < 0 || int(r) >= f.NumRegs {

@@ -108,6 +108,68 @@ func TestVerifyCatchesCorruption(t *testing.T) {
 				}
 			}
 		}, "invalid operator"},
+		{"unknown opcode", func(p *Program) {
+			f := p.ByName["main"]
+			for b := range f.Code {
+				if len(f.Code[b]) > 0 {
+					f.Code[b][0].Op = 99
+					return
+				}
+			}
+		}, "unknown opcode"},
+		{"bad jump target", func(p *Program) {
+			f := p.ByName["main"]
+			for _, blk := range f.Graph.Blocks() {
+				if len(blk.Succs) > 0 {
+					blk.Succs[0] = 99
+					return
+				}
+			}
+		}, "jump target"},
+		{"unreachable block", func(p *Program) {
+			// The graph is frozen after compilation, so orphan an existing
+			// block: route its only predecessor straight to the exit.
+			f := p.ByName["main"]
+			for _, blk := range f.Graph.Blocks() {
+				if blk.ID == f.Graph.Entry || blk.ID == f.Graph.Exit || len(blk.Preds) != 1 {
+					continue
+				}
+				pred := f.Graph.Block(blk.Preds[0])
+				for i, s := range pred.Succs {
+					if s == blk.ID {
+						pred.Succs[i] = f.Graph.Exit
+						return
+					}
+				}
+			}
+		}, "unreachable from the entry"},
+		{"exit unreachable", func(p *Program) {
+			f := p.ByName["main"]
+			for _, blk := range f.Graph.Blocks() {
+				if f.Terms[blk.ID].Kind == TermJump && len(blk.Succs) == 1 && blk.Succs[0] != blk.ID {
+					blk.Succs[0] = blk.ID // self-loop: execution can never leave
+					return
+				}
+			}
+		}, "cannot reach the exit"},
+		{"branch condition out of range", func(p *Program) {
+			f := p.ByName["main"]
+			for b := range f.Terms {
+				if f.Terms[b].Kind == TermBranch {
+					f.Terms[b].Cond = int32(f.NumRegs)
+					return
+				}
+			}
+		}, "out of range"},
+		{"exit terminator misplaced", func(p *Program) {
+			f := p.ByName["main"]
+			for _, blk := range f.Graph.Blocks() {
+				if blk.ID != f.Graph.Exit && len(blk.Succs) > 0 {
+					f.Terms[blk.ID] = Term{Kind: TermExit}
+					return
+				}
+			}
+		}, "outside the exit block"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

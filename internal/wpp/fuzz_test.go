@@ -5,8 +5,31 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/sequitur"
 	"repro/internal/trace"
 )
+
+// checkLiveGrammar feeds events into a fresh live SEQUITUR grammar and
+// holds it to the structural and digram-index invariants: Verify's
+// chain/index cross-check plus bounded counts of duplicate and unindexed
+// digrams (the documented seam slack).
+func checkLiveGrammar(t *testing.T, events []trace.Event) {
+	t.Helper()
+	g := sequitur.New()
+	for _, e := range events {
+		g.Append(uint64(e) % sequitur.MaxTerminal)
+	}
+	if err := g.Verify(); err != nil {
+		t.Fatalf("live grammar verify: %v", err)
+	}
+	slack := 2 + len(events)/50
+	if d := g.DigramDuplicates(); d > slack {
+		t.Fatalf("live grammar has %d duplicate digrams over %d events, slack is %d", d, len(events), slack)
+	}
+	if m := g.UnindexedDigrams(); m > slack {
+		t.Fatalf("live grammar has %d unindexed digrams over %d events, slack is %d", m, len(events), slack)
+	}
+}
 
 // FuzzChunkedParity drives arbitrary event streams and chunk sizes
 // through both the sequential and the parallel chunked builders and
@@ -70,6 +93,7 @@ func FuzzChunkedParity(f *testing.F) {
 		if !reflect.DeepEqual(exp, events) {
 			t.Fatalf("expansion diverges from input (chunkSize=%d)", chunkSize)
 		}
+		checkLiveGrammar(t, events)
 	})
 }
 
@@ -99,10 +123,16 @@ func FuzzDecodeChunked(f *testing.F) {
 			return
 		}
 		n := 0
-		c.Walk(func(trace.Event) bool {
+		var walked []trace.Event
+		c.Walk(func(e trace.Event) bool {
+			walked = append(walked, e)
 			n++
 			return n < 100000
 		})
+		// Recompressing whatever the artifact expands to must yield a
+		// grammar that satisfies the live invariants (decoded terminals can
+		// exceed MaxTerminal, so checkLiveGrammar clamps them).
+		checkLiveGrammar(t, walked)
 	})
 }
 

@@ -1,0 +1,54 @@
+package repro_test
+
+// End-to-end coverage of the verification surface: every bundled
+// workload is built with wppbuild -verify (exhaustive Ball–Larus proof
+// plus deep artifact checks) and the written artifact is independently
+// re-verified and cross-checked by wppstats -verify -workload.
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+func TestVerifyAllWorkloads(t *testing.T) {
+	bin := buildTools(t)
+	dir := t.TempDir()
+	for _, name := range workloads.Names() {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			out := filepath.Join(dir, name+".wpp")
+			bout := runTool(t, filepath.Join(bin, "wppbuild"),
+				"-o", out, "-verify", "-workload", name, "-scale", "small")
+			if !strings.Contains(bout, "numbering(s) unique+compact") {
+				t.Fatalf("wppbuild -verify printed no numbering proof:\n%s", bout)
+			}
+			if !strings.Contains(bout, "artifact verified") {
+				t.Fatalf("wppbuild -verify printed no artifact report:\n%s", bout)
+			}
+			sout := runTool(t, filepath.Join(bin, "wppstats"), "-verify", "-workload", name, out)
+			if !strings.Contains(sout, "monolithic artifact verified") {
+				t.Fatalf("wppstats -verify printed no artifact report:\n%s", sout)
+			}
+			if !strings.Contains(sout, "cross-checked") {
+				t.Fatalf("wppstats -verify printed no workload cross-check:\n%s", sout)
+			}
+		})
+	}
+}
+
+func TestVerifyChunkedArtifact(t *testing.T) {
+	bin := buildTools(t)
+	out := filepath.Join(t.TempDir(), "expr.wpc")
+	bout := runTool(t, filepath.Join(bin, "wppbuild"),
+		"-o", out, "-verify", "-chunk", "512", "-workload", "expr", "-scale", "small")
+	if !strings.Contains(bout, "chunked artifact verified") {
+		t.Fatalf("wppbuild -verify printed no chunked report:\n%s", bout)
+	}
+	sout := runTool(t, filepath.Join(bin, "wppstats"), "-verify", "-workload", "expr", out)
+	if !strings.Contains(sout, "chunked artifact verified") || !strings.Contains(sout, "cross-checked") {
+		t.Fatalf("wppstats -verify on a chunked artifact:\n%s", sout)
+	}
+}
