@@ -183,7 +183,7 @@ func BenchmarkInterpreterPathTrace(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		var n uint64
-		m, err := interp.New(p, interp.Config{Mode: interp.PathTrace, Sink: func(trace.Event) { n++ }})
+		m, err := interp.New(p, interp.Config{Mode: interp.PathTrace, Sink: trace.SinkFunc(func(trace.Event) { n++ })})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -198,7 +198,7 @@ func BenchmarkWPPBuildOnline(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		g := sequitur.New()
-		m, err := interp.New(p, interp.Config{Mode: interp.PathTrace, Sink: func(e trace.Event) { g.Append(uint64(e)) }})
+		m, err := interp.New(p, interp.Config{Mode: interp.PathTrace, Sink: trace.SinkFunc(func(e trace.Event) { g.Append(uint64(e)) })})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -304,8 +304,8 @@ func BenchmarkCallTreeReconstruction(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	var builder *iwpp.Builder
-	m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: func(e trace.Event) { builder.Add(e) }})
+	var builder *iwpp.MonoBuilder
+	m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: trace.SinkFunc(func(e trace.Event) { builder.Add(e) })})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -313,7 +313,7 @@ func BenchmarkCallTreeReconstruction(b *testing.B) {
 	for i, f := range prog.Funcs {
 		names[i] = f.Name
 	}
-	builder = iwpp.NewBuilder(names, m.Numberings())
+	builder = iwpp.NewMonoBuilder(names, m.Numberings())
 	if _, err := m.Run("main", w.Small); err != nil {
 		b.Fatal(err)
 	}

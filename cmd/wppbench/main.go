@@ -21,6 +21,7 @@ import (
 func main() {
 	expFlag := flag.String("exp", "all", "comma-separated experiment IDs (e1..e6,a1..a6,p1) or 'all'")
 	scaleFlag := flag.String("scale", "medium", "workload scale (small|medium|large)")
+	verify := flag.Bool("verify", false, "deep-verify every workload's artifacts (monolithic and chunked) before running experiments")
 	reps := flag.Int("reps", 3, "repetitions for timing experiments (best-of)")
 	workers := flag.Int("workers", 0, "worker count for the p1 parallel-scaling experiment (0 = all cores)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :6060)")
@@ -59,6 +60,12 @@ func main() {
 		}
 		expDone.Inc()
 		fmt.Println(tbl.String())
+	}
+	if *verify {
+		// Deep-check the artifacts the experiments are about to measure;
+		// a failed invariant makes every downstream number meaningless.
+		tbl, err := experiments.VerifyAll(scale, workloads.Names())
+		show(tbl, err)
 	}
 	if want["e1"] {
 		_, tbl, err := experiments.E1(scale)

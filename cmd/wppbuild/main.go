@@ -9,11 +9,12 @@
 //	wppbuild -o out.wpp -trace trace.wpt          # compress a raw trace
 //	wppbuild -o out.wpp -chunk 65536 -workers 8 program.wl [arg ...]
 //
-// With -chunk N > 0 the stream is cut into N-event chunks compressed by
-// the parallel pipeline on -workers goroutines (default: all cores),
-// producing a chunked artifact (magic "WPC1", readable by wpphot and
-// wppstats). The artifact is byte-identical for every worker count.
-// Without -chunk the classic monolithic artifact ("WPP1") is written.
+// Every input path feeds the same wpp.Builder interface: -chunk N > 0
+// selects the parallel chunked pipeline on -workers goroutines (default:
+// all cores), producing a chunked artifact (magic "WPC1"); without
+// -chunk the classic monolithic artifact ("WPP1") is built. The artifact
+// is byte-identical for every worker count. Both formats are registered
+// with the artifact codec, so wpphot, wppstats, and wppdiff read either.
 //
 // Building from a raw trace loses per-path instruction costs (the trace
 // format does not carry them); analyses then weight every path equally.
@@ -28,7 +29,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"strconv"
 
@@ -67,36 +67,27 @@ func main() {
 		fatal(err)
 	}
 
-	// sink is the event consumer: a monolithic or a parallel chunked
-	// builder, chosen by -chunk.
-	newSink := func(names []string, nums []*bl.Numbering) (func(trace.Event), func(uint64) artifact) {
-		if *chunk > 0 {
-			b := iwpp.NewParallelChunkedBuilder(names, nums, *chunk, iwpp.ParallelOptions{Workers: *workers, Metrics: met})
-			return b.Add, func(instrs uint64) artifact {
-				c := b.Finish(instrs)
-				rep := b.Report()
-				return chunkedArtifact{c, &rep}
-			}
-		}
-		b := iwpp.NewBuilder(names, nums)
-		b.SetMetrics(met)
-		return b.Add, func(instrs uint64) artifact { return monoArtifact{b.Finish(instrs)} }
+	// Every input path builds through the unified Builder interface; the
+	// construction strategy is chosen by options, not by entry point.
+	newBuilder := func(names []string, nums []*bl.Numbering) iwpp.Builder {
+		return iwpp.New(names, nums, iwpp.BuildOptions{ChunkSize: *chunk, Workers: *workers, Metrics: met})
 	}
 
 	// With -verify, prove every numbering unique and compact before the
 	// run; the artifact itself is deep-checked after it is built.
 	if *verify {
-		inner := newSink
-		newSink = func(names []string, nums []*bl.Numbering) (func(trace.Event), func(uint64) artifact) {
+		inner := newBuilder
+		newBuilder = func(names []string, nums []*bl.Numbering) iwpp.Builder {
 			proveNumberings(names, nums)
 			return inner(names, nums)
 		}
 	}
 
-	var a artifact
+	var a iwpp.Artifact
+	var rep *iwpp.BuildReport
 	switch {
 	case *traceFile != "":
-		a, err = fromTrace(*traceFile, newSink)
+		a, rep, err = fromTrace(*traceFile, newBuilder)
 	case *workload != "":
 		wl, werr := workloads.ByName(*workload)
 		if werr != nil {
@@ -106,7 +97,7 @@ func main() {
 		if serr != nil {
 			fatal(serr)
 		}
-		a, err = fromSource(wl.Source, []int64{scale.Arg(wl)}, newSink)
+		a, rep, err = fromSource(wl.Source, []int64{scale.Arg(wl)}, newBuilder)
 	case flag.NArg() >= 1:
 		data, rerr := os.ReadFile(flag.Arg(0))
 		if rerr != nil {
@@ -120,7 +111,7 @@ func main() {
 			}
 			args = append(args, v)
 		}
-		a, err = fromSource(string(data), args, newSink)
+		a, rep, err = fromSource(string(data), args, newBuilder)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -129,59 +120,48 @@ func main() {
 		fatal(err)
 	}
 	if *verify {
-		if err := verifyArtifact(a); err != nil {
-			fatal(fmt.Errorf("artifact fails deep verification: %w", err))
+		vrep, verr := a.VerifyArtifact()
+		if verr != nil {
+			fatal(fmt.Errorf("artifact fails deep verification: %w", verr))
 		}
+		fmt.Println(vrep.String())
 	}
 
 	f, err := os.Create(*out)
 	if err != nil {
 		fatal(err)
 	}
-	n, err := a.encode(&obsv.CountingWriter{W: f, C: encodedBytes})
+	n, err := a.Encode(&obsv.CountingWriter{W: f, C: encodedBytes})
 	if err != nil {
 		fatal(err)
 	}
 	if err := f.Close(); err != nil {
 		fatal(err)
 	}
-	switch t := a.(type) {
-	case monoArtifact:
-		ratio.Set(float64(t.w.Stats().RawTraceBytes) / float64(n))
-	case chunkedArtifact:
-		ratio.Set(t.rep.Ratio)
+	if rep != nil {
+		ratio.Set(rep.Ratio)
 	}
-	a.report(n, *out)
+	printArtifact(a, rep, n, *out)
 	shutdown()
 }
 
-// artifact abstracts over the two encodings so the build paths stay
-// shared.
-type artifact interface {
-	encode(w io.Writer) (int64, error)
-	report(written int64, path string)
-}
-
-type monoArtifact struct{ w *iwpp.WPP }
-
-func (a monoArtifact) encode(w io.Writer) (int64, error) { return a.w.Encode(w) }
-func (a monoArtifact) report(n int64, path string) {
-	st := a.w.Stats()
-	fmt.Printf("events: %d\nrules: %d\nrhs symbols: %d\nraw trace bytes: %d\nwpp bytes: %d (%.1fx)\n-> %s\n",
-		st.Events, st.Rules, st.RHSSymbols, st.RawTraceBytes, n, float64(st.RawTraceBytes)/float64(n), path)
-}
-
-type chunkedArtifact struct {
-	c   *iwpp.ChunkedWPP
-	rep *iwpp.BuildReport
-}
-
-func (a chunkedArtifact) encode(w io.Writer) (int64, error) { return a.c.Encode(w) }
-func (a chunkedArtifact) report(n int64, path string) {
-	st := a.c.Stats()
-	fmt.Printf("events: %d\nchunks: %d (size %d)\nrules: %d\nrhs symbols: %d\npeak live symbols: %d\nwpc bytes: %d\n-> %s\n",
-		st.Events, st.Chunks, a.c.ChunkSize, st.Rules, st.RHSSymbols, st.PeakLiveRHS, n, path)
-	fmt.Println(a.rep.String())
+// printArtifact renders the per-format build summary; the formats differ
+// (a chunked build reports chunk geometry and pipeline utilization), so
+// presentation type-switches on the concrete artifact.
+func printArtifact(a iwpp.Artifact, rep *iwpp.BuildReport, n int64, path string) {
+	switch t := a.(type) {
+	case *iwpp.WPP:
+		st := t.Stats()
+		fmt.Printf("events: %d\nrules: %d\nrhs symbols: %d\nraw trace bytes: %d\nwpp bytes: %d (%.1fx)\n-> %s\n",
+			st.Events, st.Rules, st.RHSSymbols, st.RawTraceBytes, n, float64(st.RawTraceBytes)/float64(n), path)
+	case *iwpp.ChunkedWPP:
+		st := t.Stats()
+		fmt.Printf("events: %d\nchunks: %d (size %d)\nrules: %d\nrhs symbols: %d\npeak live symbols: %d\nwpc bytes: %d\n-> %s\n",
+			st.Events, st.Chunks, t.ChunkSize, st.Rules, st.RHSSymbols, st.PeakLiveRHS, n, path)
+		if rep != nil {
+			fmt.Println(rep.String())
+		}
+	}
 }
 
 // proveNumberings runs the exhaustive Ball–Larus proof on every function
@@ -209,87 +189,68 @@ func proveNumberings(names []string, nums []*bl.Numbering) {
 	fmt.Printf("bl: proved %d/%d numbering(s) unique+compact (%d skipped)\n", proved, len(nums), skipped)
 }
 
-// verifyArtifact deep-checks the built artifact (grammar invariants,
-// chunk geometry, path-ID bounds) and prints the verification report.
-func verifyArtifact(a artifact) error {
-	var rep iwpp.VerifyReport
-	var err error
-	switch t := a.(type) {
-	case monoArtifact:
-		rep, err = t.w.VerifyArtifact()
-	case chunkedArtifact:
-		rep, err = t.c.VerifyArtifact()
-	}
-	if err != nil {
-		return err
-	}
-	fmt.Println(rep.String())
-	return nil
-}
+// builderFactory constructs the event consumer for one build.
+type builderFactory func(names []string, nums []*bl.Numbering) iwpp.Builder
 
-type sinkFactory func(names []string, nums []*bl.Numbering) (func(trace.Event), func(uint64) artifact)
-
-func fromSource(source string, args []int64, newSink sinkFactory) (artifact, error) {
+func fromSource(source string, args []int64, newBuilder builderFactory) (iwpp.Artifact, *iwpp.BuildReport, error) {
 	prog, err := wlc.Compile(source)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	var add func(trace.Event)
-	m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: func(e trace.Event) { add(e) }})
+	// The builder needs the machine's numberings, so it is constructed
+	// after the machine; the SinkFunc closure late-binds it.
+	var b iwpp.Builder
+	m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: trace.SinkFunc(func(e trace.Event) { b.Add(e) })})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	names := make([]string, len(prog.Funcs))
 	for i, fn := range prog.Funcs {
 		names[i] = fn.Name
 	}
-	add, finish := newSink(names, m.Numberings())
+	b = newBuilder(names, m.Numberings())
 	if _, err := m.Run("main", args...); err != nil {
-		return nil, err
+		b.Finish(0) // drain the pipeline so worker goroutines do not leak
+		return nil, nil, err
 	}
-	return finish(m.Stats().Instructions), nil
+	a := b.Finish(m.Stats().Instructions)
+	return a, b.Report(), nil
 }
 
-func fromTrace(path string, newSink sinkFactory) (artifact, error) {
+func fromTrace(path string, newBuilder builderFactory) (iwpp.Artifact, *iwpp.BuildReport, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer f.Close()
-	tr, err := trace.NewReader(f)
+	src, err := trace.NewReaderSource(f)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Function IDs are discovered from the events; names are synthetic.
 	maxFn := uint32(0)
-	add, finish := newSink(nil, nil)
-	var events uint64
-	for {
-		e, err := tr.Read()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, err
-		}
+	b := newBuilder(nil, nil)
+	if _, err := trace.Copy(trace.SinkFunc(func(e trace.Event) {
 		if e.Func() > maxFn {
 			maxFn = e.Func()
 		}
-		add(e)
-		events++
+		b.Add(e)
+	}), src); err != nil {
+		b.Finish(0)
+		return nil, nil, err
 	}
-	a := finish(events) // cost 1 per event
+	a := b.Finish(b.Events()) // cost 1 per event
 	names := make([]iwpp.FuncInfo, maxFn+1)
 	for i := range names {
 		names[i] = iwpp.FuncInfo{Name: fmt.Sprintf("f%d", i)}
 	}
 	switch t := a.(type) {
-	case monoArtifact:
-		t.w.Funcs = names
-	case chunkedArtifact:
-		t.c.Funcs = names
+	case *iwpp.WPP:
+		t.Funcs = names
+	case *iwpp.ChunkedWPP:
+		t.Funcs = names
 	}
-	return a, nil
+	return a, b.Report(), nil
 }
 
 func fatal(err error) {

@@ -203,7 +203,7 @@ func verifyAgainstWorkload(name string, funcs []iwpp.FuncInfo, walk func(func(tr
 	if err != nil {
 		fatal(fmt.Errorf("recompiling workload %s: %w", name, err))
 	}
-	m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: func(trace.Event) {}})
+	m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: trace.SinkFunc(func(trace.Event) {})})
 	if err != nil {
 		fatal(err)
 	}

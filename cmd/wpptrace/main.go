@@ -76,11 +76,11 @@ func main() {
 		fatal(err)
 	}
 	var sinkErr error
-	m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: func(e trace.Event) {
+	m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: trace.SinkFunc(func(e trace.Event) {
 		if err := tw.Write(e); err != nil && sinkErr == nil {
 			sinkErr = err
 		}
-	}})
+	})})
 	if err != nil {
 		fatal(err)
 	}

@@ -267,8 +267,8 @@ func TestRecoveredFuncProfileMatchesGroundTruth(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var b *iwpp.Builder
-		m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: func(e trace.Event) { b.Add(e) }})
+		var b *iwpp.MonoBuilder
+		m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: trace.SinkFunc(func(e trace.Event) { b.Add(e) })})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -276,7 +276,7 @@ func TestRecoveredFuncProfileMatchesGroundTruth(t *testing.T) {
 		for i, f := range prog.Funcs {
 			names[i] = f.Name
 		}
-		b = iwpp.NewBuilder(names, m.Numberings())
+		b = iwpp.NewMonoBuilder(names, m.Numberings())
 		if _, err := m.Run("main", w.Small); err != nil {
 			t.Fatal(err)
 		}

@@ -9,7 +9,7 @@ import (
 
 func TestNilMetrics(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), analysis.NilMetrics,
-		"nilmetrics/obsv", "nilmetrics/consumer")
+		"nilmetrics/obsv", "nilmetrics/consumer", "nilmetrics/engine")
 }
 
 func TestAtomicAlign(t *testing.T) {
@@ -26,7 +26,7 @@ func TestErrWrap(t *testing.T) {
 
 func TestNoPrint(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), analysis.NoPrint,
-		"noprint/a", "noprint/main")
+		"noprint/a", "noprint/main", "noprint/engine")
 }
 
 func TestByName(t *testing.T) {

@@ -1,0 +1,48 @@
+// Fixture: a miniature grammar-fold engine. Folds carry their metrics
+// handle through Chunk/Merge callbacks; the handle must travel as a
+// pointer so an unconfigured (nil) handle disables instrumentation
+// instead of crashing a worker goroutine mid-fold.
+package engine
+
+import "repro/internal/obsv"
+
+// analysis stands in for the per-chunk analysis state.
+type analysis struct {
+	length uint64
+}
+
+// windowFold models a fold closed over its metrics.
+type windowFold struct {
+	scanned *obsv.Counter
+	merged  obsv.Counter // want `field or parameter declared as obsv handle value type`
+}
+
+func (f windowFold) chunk(i int, a *analysis) uint64 {
+	f.scanned.Inc() // pointer use: ok, nil-safe by contract
+	return a.length
+}
+
+func (f windowFold) merge(acc, next uint64) uint64 {
+	return acc + next
+}
+
+// run models the engine driver: per-chunk metrics arrive by pointer.
+func run(chunks []*analysis, met *obsv.Counter) uint64 {
+	var total uint64
+	for i, a := range chunks {
+		f := windowFold{scanned: met}
+		total = f.merge(total, f.chunk(i, a))
+	}
+	return total
+}
+
+// snapshotCount copies the handle out of the fold to read it.
+func snapshotCount(met *obsv.Counter) uint64 {
+	v := *met // want `dereferencing obsv handle`
+	return v.Value()
+}
+
+// chunkWorker passes the handle by value into the worker body.
+func chunkWorker(done obsv.Counter) { // want `field or parameter declared as obsv handle value type`
+	done.Inc()
+}

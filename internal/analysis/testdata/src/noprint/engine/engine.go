@@ -1,0 +1,28 @@
+// Fixture: the grammar-fold engine is a library package; diagnostics
+// and fold traces must go through a caller-supplied io.Writer, never to
+// the process streams (engine folds run on worker goroutines inside
+// quiet tools and tests).
+package engine
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// DumpFold renders fold progress to an explicit writer: ok.
+func DumpFold(w io.Writer, chunk int, windows uint64) {
+	fmt.Fprintf(w, "chunk %d: %d windows\n", chunk, windows)
+}
+
+// debugFold leaks worker-side tracing onto the process streams.
+func debugFold(chunk int, windows uint64) {
+	fmt.Printf("chunk %d: %d windows\n", chunk, windows) // want `fmt\.Printf writes to stdout from library package`
+	fmt.Println("merge done")                            // want `fmt\.Println writes to stdout from library package`
+	print("boundary")                                    // want `builtin print writes to stderr from library package`
+}
+
+// traceTo defaults the fold trace to stdout instead of requiring one.
+func traceTo() io.Writer {
+	return os.Stdout // want `os\.Stdout referenced from library package`
+}

@@ -18,8 +18,8 @@ func traced(t *testing.T, src string, args ...int64) (*wlc.Program, *interp.Mach
 	if err != nil {
 		t.Fatal(err)
 	}
-	var b *iwpp.Builder
-	m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: func(e trace.Event) { b.Add(e) }})
+	var b *iwpp.MonoBuilder
+	m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: trace.SinkFunc(func(e trace.Event) { b.Add(e) })})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +27,7 @@ func traced(t *testing.T, src string, args ...int64) (*wlc.Program, *interp.Mach
 	for i, f := range prog.Funcs {
 		names[i] = f.Name
 	}
-	b = iwpp.NewBuilder(names, m.Numberings())
+	b = iwpp.NewMonoBuilder(names, m.Numberings())
 	if _, err := m.Run("main", args...); err != nil {
 		t.Fatal(err)
 	}
@@ -43,14 +43,14 @@ func expectedEdges(t *testing.T, src string, args ...int64) (map[Edge]uint64, ui
 		t.Fatal(err)
 	}
 	counts := map[Edge]uint64{}
-	m, err := interp.New(prog, interp.Config{Mode: interp.BlockTrace, Sink: func(e trace.Event) {
+	m, err := interp.New(prog, interp.Config{Mode: interp.BlockTrace, Sink: trace.SinkFunc(func(e trace.Event) {
 		f := prog.Funcs[e.Func()]
 		for _, in := range f.Code[e.Path()] {
 			if in.Op == wlc.OpCall {
 				counts[Edge{Caller: int32(e.Func()), Callee: in.Fn}]++
 			}
 		}
-	}})
+	})})
 	if err != nil {
 		t.Fatal(err)
 	}

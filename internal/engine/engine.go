@@ -1,0 +1,250 @@
+// Package engine is the single grammar-fold analysis engine behind every
+// compressed-trace analysis. A whole program path is a sequence of
+// SEQUITUR grammars (one for a monolithic WPP, one per chunk for a
+// chunked WPP); every analysis — hot-subpath search, path profiles,
+// spectra — is a Fold: a bottom-up pass over each grammar DAG with
+// per-rule memoization, plus an order-preserving merge across grammars,
+// with boundary windows materialized for analyses whose windows slide
+// across chunk seams.
+//
+// Expressing analyses this way (following how Kini et al. frame race
+// detection as a generic pass over an SLP grammar) means a new analysis
+// implements one Fold and inherits chunking, parallelism, and
+// determinism; it does not re-implement traversal. The engine guarantees
+// that for a fixed chunk sequence the result is identical for every
+// worker count: per-chunk passes are pure functions of their snapshot,
+// and merging is sequential in chunk order.
+package engine
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"repro/internal/sequitur"
+)
+
+// Analysis caches the per-grammar derived data every fold shares: the
+// memoized bottom-up quantities of one snapshot's rule DAG.
+type Analysis struct {
+	// Snap is the grammar under analysis.
+	Snap *sequitur.Snapshot
+	// ExpLen[r] is the expansion length of rule r.
+	ExpLen []uint64
+	// Uses[r] is the number of occurrences of rule r in the derivation
+	// tree (rule 0 occurs once).
+	Uses []uint64
+	// CumLens[r][j] is the cumulative expansion length of rule r's RHS
+	// after symbol j (CumLens[r][0] == 0).
+	CumLens [][]uint64
+}
+
+// NewAnalysis computes the memoized per-rule data for one snapshot in a
+// single bottom-up pass.
+func NewAnalysis(snap *sequitur.Snapshot) *Analysis {
+	a := &Analysis{Snap: snap}
+	n := len(a.Snap.Rules)
+	a.ExpLen = a.Snap.ExpandedLen()
+	a.Uses = make([]uint64, n)
+	if n > 0 {
+		a.Uses[0] = 1
+		for _, r := range a.topoOrder() {
+			for _, s := range a.Snap.Rules[r] {
+				if s.IsRule() {
+					a.Uses[s.Rule] += a.Uses[r]
+				}
+			}
+		}
+	}
+	a.CumLens = make([][]uint64, n)
+	for i, rhs := range a.Snap.Rules {
+		cum := make([]uint64, len(rhs)+1)
+		for j, s := range rhs {
+			if s.IsRule() {
+				cum[j+1] = cum[j] + a.ExpLen[s.Rule]
+			} else {
+				cum[j+1] = cum[j] + 1
+			}
+		}
+		a.CumLens[i] = cum
+	}
+	return a
+}
+
+// Length is the expansion length of the start rule — the chunk's share
+// of the trace. Zero for an empty grammar.
+func (a *Analysis) Length() uint64 {
+	if len(a.ExpLen) == 0 {
+		return 0
+	}
+	return a.ExpLen[0]
+}
+
+// topoOrder returns rule indices with every parent before its children.
+func (a *Analysis) topoOrder() []int32 {
+	n := len(a.Snap.Rules)
+	state := make([]int8, n)
+	order := make([]int32, 0, n)
+	var visit func(int32)
+	visit = func(r int32) {
+		if state[r] != 0 {
+			return
+		}
+		state[r] = 1
+		for _, s := range a.Snap.Rules[r] {
+			if s.IsRule() {
+				visit(s.Rule)
+			}
+		}
+		order = append(order, r)
+	}
+	visit(0)
+	// Reverse postorder = parents first.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// Terminals visits every terminal occurrence in every rule body together
+// with the rule's derivation-tree use count — the weighted-terminal pass
+// frequency folds are built on. Each distinct trace position is covered
+// exactly once.
+func (a *Analysis) Terminals(visit func(v uint64, uses uint64)) {
+	for r, rhs := range a.Snap.Rules {
+		uses := a.Uses[r]
+		for _, s := range rhs {
+			if !s.IsRule() {
+				visit(s.Value, uses)
+			}
+		}
+	}
+}
+
+// Collect appends the terminals of rule r's expansion in [start,
+// start+length) to out, descending only the subtrees the range touches.
+func (a *Analysis) Collect(r int32, start, length uint64, out []uint64) []uint64 {
+	rhs := a.Snap.Rules[r]
+	cum := a.CumLens[r]
+	// Binary search for the first RHS symbol whose span contains start.
+	j := sort.Search(len(rhs), func(j int) bool { return cum[j+1] > start })
+	for ; length > 0 && j < len(rhs); j++ {
+		s := rhs[j]
+		if !s.IsRule() {
+			out = append(out, s.Value)
+			length--
+			start = cum[j+1]
+			continue
+		}
+		childStart := start - cum[j]
+		avail := a.ExpLen[s.Rule] - childStart
+		take := length
+		if take > avail {
+			take = avail
+		}
+		out = a.Collect(s.Rule, childStart, take, out)
+		length -= take
+		start = cum[j+1]
+	}
+	return out
+}
+
+// CountWindows accumulates, for every distinct window of length l in the
+// grammar's expansion, its total occurrence count. Keys are the
+// big-endian byte strings of the window's symbols (see AppendKey).
+//
+// Every window of the expansion either crosses a boundary between two
+// RHS symbols of exactly one lowest rule, or lies entirely within one
+// nonterminal's expansion and is attributed recursively; enumerating,
+// for each rule, the windows that cross its RHS boundaries — weighted by
+// the rule's use count — therefore counts every window exactly once
+// without expanding the trace.
+func (a *Analysis) CountWindows(l int, counts map[string]uint64) {
+	if len(a.Snap.Rules) == 0 {
+		return
+	}
+	if l == 1 {
+		// Single-event windows never cross boundaries; count terminals
+		// directly.
+		var key [8]byte
+		a.Terminals(func(v, uses uint64) {
+			binary.BigEndian.PutUint64(key[:], v)
+			counts[string(key[:])] += uses
+		})
+		return
+	}
+	L := uint64(l)
+	var terms []uint64
+	key := make([]byte, 0, l*8)
+	for r := range a.Snap.Rules {
+		if a.Uses[r] == 0 {
+			continue
+		}
+		cum := a.CumLens[r]
+		total := cum[len(cum)-1]
+		if total < L {
+			continue
+		}
+		ruleUses := a.Uses[r]
+		maxStart := total - L
+		// Enumerate window start offsets that cross at least one boundary
+		// between RHS symbols, merged into maximal runs [lo, hi) so each
+		// run's terminals are materialized once and the window slides.
+		next := uint64(0)
+		runLo, runHi := uint64(0), uint64(0)
+		haveRun := false
+		flush := func() {
+			if !haveRun {
+				return
+			}
+			terms = a.Collect(int32(r), runLo, runHi-1+L-runLo, terms[:0])
+			for o := runLo; o < runHi; o++ {
+				key = AppendKey(key[:0], terms[o-runLo:o-runLo+L])
+				counts[string(key)] += ruleUses
+			}
+			haveRun = false
+		}
+		for b := 1; b < len(cum)-1; b++ {
+			p := cum[b]
+			lo := uint64(0)
+			if p >= L {
+				lo = p - L + 1
+			}
+			if lo < next {
+				lo = next
+			}
+			hi := p // window must start strictly before the boundary
+			if hi > maxStart+1 {
+				hi = maxStart + 1
+			}
+			if lo >= hi {
+				continue
+			}
+			if haveRun && lo <= runHi {
+				runHi = hi
+			} else {
+				flush()
+				runLo, runHi, haveRun = lo, hi, true
+			}
+			next = hi
+		}
+		flush()
+	}
+}
+
+// AppendKey appends the canonical window key of the symbols to dst: each
+// symbol as 8 big-endian bytes. All window-count maps share this form.
+func AppendKey(dst []byte, window []uint64) []byte {
+	for _, v := range window {
+		dst = binary.BigEndian.AppendUint64(dst, v)
+	}
+	return dst
+}
+
+// DecodeKey inverts AppendKey.
+func DecodeKey(key string) []uint64 {
+	out := make([]uint64, len(key)/8)
+	for i := range out {
+		out[i] = binary.BigEndian.Uint64([]byte(key[i*8 : (i+1)*8]))
+	}
+	return out
+}

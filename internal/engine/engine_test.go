@@ -1,0 +1,202 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/sequitur"
+)
+
+// buildSnap compresses the symbols with SEQUITUR and returns the
+// snapshot.
+func buildSnap(t *testing.T, syms []uint64) *sequitur.Snapshot {
+	t.Helper()
+	g := sequitur.New()
+	for _, v := range syms {
+		g.Append(v)
+	}
+	snap := g.Snapshot()
+	if err := snap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+func randSyms(rng *rand.Rand, n, alphabet int) []uint64 {
+	syms := make([]uint64, n)
+	for i := range syms {
+		syms[i] = uint64(rng.Intn(alphabet))
+	}
+	return syms
+}
+
+func TestAnalysisLengthAndUses(t *testing.T) {
+	syms := []uint64{1, 2, 1, 2, 1, 2, 3}
+	a := NewAnalysis(buildSnap(t, syms))
+	if a.Length() != uint64(len(syms)) {
+		t.Fatalf("Length() = %d, want %d", a.Length(), len(syms))
+	}
+	// Summing terminal occurrences weighted by rule uses must equal the
+	// trace length: every trace position is covered exactly once.
+	var total uint64
+	a.Terminals(func(_, uses uint64) { total += uses })
+	if total != uint64(len(syms)) {
+		t.Fatalf("weighted terminal count %d, want %d", total, len(syms))
+	}
+}
+
+func TestCollectMatchesDirectSlicing(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	syms := randSyms(rng, 300, 4)
+	a := NewAnalysis(buildSnap(t, syms))
+	for trial := 0; trial < 100; trial++ {
+		start := uint64(rng.Intn(len(syms)))
+		length := uint64(rng.Intn(len(syms)-int(start)) + 1)
+		got := a.Collect(0, start, length, nil)
+		want := syms[start : start+length]
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Collect(0,%d,%d) = %v, want %v", start, length, got, want)
+		}
+	}
+}
+
+// scanWindows counts windows by brute force on the expanded sequence.
+func scanWindows(syms []uint64, l int) map[string]uint64 {
+	counts := make(map[string]uint64)
+	for i := 0; i+l <= len(syms); i++ {
+		counts[string(AppendKey(nil, syms[i:i+l]))]++
+	}
+	return counts
+}
+
+func TestCountWindowsMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 17, 250} {
+		syms := randSyms(rng, n, 3)
+		a := NewAnalysis(buildSnap(t, syms))
+		for l := 1; l <= 6; l++ {
+			got := make(map[string]uint64)
+			a.CountWindows(l, got)
+			want := scanWindows(syms, l)
+			if len(want) == 0 {
+				want = map[string]uint64{}
+			}
+			if len(got) == 0 {
+				got = map[string]uint64{}
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d l=%d: CountWindows disagrees with scan: got %d keys, want %d", n, l, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	window := []uint64{0, 1, 1 << 40, 1<<61 - 1}
+	key := AppendKey(nil, window)
+	if len(key) != len(window)*8 {
+		t.Fatalf("key length %d, want %d", len(key), len(window)*8)
+	}
+	if got := DecodeKey(string(key)); !reflect.DeepEqual(got, window) {
+		t.Fatalf("DecodeKey round-trip = %v, want %v", got, window)
+	}
+}
+
+// sumFold sums chunk lengths; used to check Run's ordering and the
+// Map/Run worker invariance.
+type sumFold struct{}
+
+func (sumFold) Chunk(_ int, a *Analysis) []uint64 { return []uint64{a.Length()} }
+func (sumFold) Merge(acc, next []uint64) []uint64 { return append(acc, next...) }
+
+func TestRunMergesInChunkOrderAtAnyWorkerCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var snaps []*sequitur.Snapshot
+	var want []uint64
+	for i := 0; i < 9; i++ {
+		n := rng.Intn(40) + 1
+		snaps = append(snaps, buildSnap(t, randSyms(rng, n, 3)))
+		want = append(want, uint64(n))
+	}
+	for _, workers := range []int{0, 1, 2, 4, 16} {
+		got := Run(snaps, workers, sumFold{})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: Run merged %v, want %v", workers, got, want)
+		}
+	}
+}
+
+func TestRunEmptyReturnsZero(t *testing.T) {
+	if got := Run(nil, 4, sumFold{}); got != nil {
+		t.Fatalf("Run over zero chunks = %v, want zero value", got)
+	}
+}
+
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d", got)
+	}
+}
+
+func TestBoundaryRegions(t *testing.T) {
+	syms := randSyms(rand.New(rand.NewSource(5)), 50, 4)
+	a := NewAnalysis(buildSnap(t, syms))
+	b := a.Boundary(7)
+	if b.Length != 50 {
+		t.Fatalf("Boundary.Length = %d", b.Length)
+	}
+	if !reflect.DeepEqual(b.Head, syms[:7]) || !reflect.DeepEqual(b.Tail, syms[43:]) {
+		t.Fatalf("Boundary regions wrong: head %v tail %v", b.Head, b.Tail)
+	}
+	// Width beyond the chunk clamps to the whole chunk.
+	wide := a.Boundary(100)
+	if !reflect.DeepEqual(wide.Head, syms) || !reflect.DeepEqual(wide.Tail, syms) {
+		t.Fatal("oversized Boundary width must clamp to chunk length")
+	}
+}
+
+// TestCrossingWindowsMatchesScan splits one sequence into chunks and
+// checks that per-chunk CountWindows plus CrossingWindows reproduces the
+// monolithic window counts exactly — the engine's chunk-seam invariant.
+func TestCrossingWindowsMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	syms := randSyms(rng, 200, 3)
+	cuts := [][]int{
+		{100},
+		{50, 120},
+		{1, 2, 3, 199},
+		{64, 128, 192},
+	}
+	for _, cut := range cuts {
+		var snaps []*sequitur.Snapshot
+		prev := 0
+		for _, c := range append(cut, len(syms)) {
+			snaps = append(snaps, buildSnap(t, syms[prev:c]))
+			prev = c
+		}
+		for l := 2; l <= 6; l++ {
+			counts := make(map[string]uint64)
+			var bounds []Boundary
+			for _, snap := range snaps {
+				a := NewAnalysis(snap)
+				a.CountWindows(l, counts)
+				bounds = append(bounds, a.Boundary(l-1))
+			}
+			CrossingWindows(bounds, l, func(window []uint64) {
+				counts[string(AppendKey(nil, window))]++
+			})
+			want := scanWindows(syms, l)
+			if !reflect.DeepEqual(counts, want) {
+				t.Fatalf("cuts=%v l=%d: chunked counts disagree with scan", cut, l)
+			}
+		}
+	}
+}

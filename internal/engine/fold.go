@@ -1,0 +1,155 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sequitur"
+)
+
+// Fold is one analysis expressed over the engine: a per-chunk pass that
+// reduces one grammar's Analysis to a partial result, and an associative
+// merge that combines partial results in chunk order. Chunk must be a
+// pure function of (i, a) — it runs concurrently across chunks — while
+// Merge runs sequentially, left to right, so results are identical for
+// every worker count.
+type Fold[R any] interface {
+	// Chunk reduces chunk i's analysis to a partial result.
+	Chunk(i int, a *Analysis) R
+	// Merge folds the next chunk's partial result into the accumulator
+	// and returns the new accumulator. It is called in chunk order,
+	// starting from Chunk(0)'s result.
+	Merge(acc, next R) R
+}
+
+// Workers normalizes a worker-count option: non-positive means
+// GOMAXPROCS.
+func Workers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// Map builds each snapshot's Analysis and applies fn to it on `workers`
+// goroutines (normalized by Workers), returning results in chunk order.
+// fn must only write state owned by index i.
+func Map[R any](snaps []*sequitur.Snapshot, workers int, fn func(i int, a *Analysis) R) []R {
+	n := len(snaps)
+	out := make([]R, n)
+	run := func(i int) { out[i] = fn(i, NewAnalysis(snaps[i])) }
+	if workers = Workers(workers); workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			run(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				run(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Run executes a Fold over the snapshot sequence: per-chunk passes in
+// parallel via Map, then a sequential in-order merge. With a single
+// snapshot the result is Chunk(0, ...) — the monolithic case is the
+// one-chunk special case of the same engine.
+func Run[R any](snaps []*sequitur.Snapshot, workers int, f Fold[R]) R {
+	parts := Map(snaps, workers, f.Chunk)
+	if len(parts) == 0 {
+		var zero R
+		return zero
+	}
+	acc := parts[0]
+	for _, p := range parts[1:] {
+		acc = f.Merge(acc, p)
+	}
+	return acc
+}
+
+// Boundary is one chunk's contribution to cross-seam window counting:
+// its expanded length plus the materialized head and tail regions, each
+// at most `width` events (fewer only when the chunk itself is shorter).
+type Boundary struct {
+	// Length is the chunk's expanded event count.
+	Length uint64
+	// Head holds the chunk's first min(Length, width) events.
+	Head []uint64
+	// Tail holds the chunk's last min(Length, width) events.
+	Tail []uint64
+}
+
+// Boundary materializes the chunk's boundary regions of the given width.
+// Width is the longest window length minus one: a window crossing a seam
+// touches at most width events on either side.
+func (a *Analysis) Boundary(width int) Boundary {
+	b := Boundary{Length: a.Length()}
+	k := uint64(width)
+	if k > b.Length {
+		k = b.Length
+	}
+	if k > 0 {
+		b.Head = a.Collect(0, 0, k, nil)
+		b.Tail = a.Collect(0, b.Length-k, k, nil)
+	}
+	return b
+}
+
+// CrossingWindows visits, for every chunk i, each occurrence of a
+// length-l window that starts inside chunk i but extends past its end
+// into later chunks. Each crossing occurrence's start position lies in
+// exactly one chunk, so it is visited exactly once, with implicit weight
+// 1 (boundary regions are raw positions, not grammar-weighted). The
+// window slice is reused across calls; visitors must copy if they
+// retain it. Boundaries must have been built with width >= l-1.
+func CrossingWindows(bounds []Boundary, l int, visit func(window []uint64)) {
+	if l < 2 {
+		return // a 1-window cannot cross a boundary
+	}
+	stream := make([]uint64, 0, 2*l)
+	for i, b := range bounds {
+		if b.Length == 0 {
+			continue
+		}
+		t := uint64(len(b.Tail)) // tail covers all crossing start positions: t >= min(Length, l-1)
+		// stream = tail of chunk i ++ up to l-1 following events.
+		stream = append(stream[:0], b.Tail...)
+		need := l - 1
+		for j := i + 1; j < len(bounds) && need > 0; j++ {
+			h := bounds[j].Head
+			if len(h) > need {
+				h = h[:need]
+			}
+			stream = append(stream, h...)
+			need -= len(h)
+		}
+		// Window starts at stream index s, crossing iff it extends past
+		// the chunk end (s+l > t) while starting inside it (s < t).
+		for s := uint64(0); s < t; s++ {
+			if s+uint64(l) <= t {
+				continue // fully inside chunk i: already grammar-counted
+			}
+			if s+uint64(l) > uint64(len(stream)) {
+				break // runs past the end of the trace
+			}
+			visit(stream[s : s+uint64(l)])
+		}
+	}
+}

@@ -44,9 +44,9 @@ func A3(scale Scale, names []string, chunkSizes []uint64) ([]A3Row, *Table, erro
 		}
 		// Capture the event stream once.
 		var events []trace.Event
-		m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: func(e trace.Event) {
+		m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: trace.SinkFunc(func(e trace.Event) {
 			events = append(events, e)
-		}})
+		})})
 		if err != nil {
 			return nil, nil, err
 		}

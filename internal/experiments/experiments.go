@@ -123,11 +123,11 @@ func runTraced(w workloads.Workload, scale Scale) (*artifacts, error) {
 		return nil, fmt.Errorf("%s: %w", w.Name, err)
 	}
 	a := &artifacts{workload: w, prog: prog}
-	var b *iwpp.Builder
-	m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: func(e trace.Event) {
+	var b *iwpp.MonoBuilder
+	m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: trace.SinkFunc(func(e trace.Event) {
 		a.events = append(a.events, e)
 		b.Add(e)
-	}})
+	})})
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", w.Name, err)
 	}
@@ -135,7 +135,7 @@ func runTraced(w workloads.Workload, scale Scale) (*artifacts, error) {
 	for i, f := range prog.Funcs {
 		names[i] = f.Name
 	}
-	b = iwpp.NewBuilder(names, m.Numberings())
+	b = iwpp.NewMonoBuilder(names, m.Numberings())
 	res, err := m.Run("main", scale.Arg(w))
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", w.Name, err)
@@ -361,11 +361,11 @@ func E3(scale Scale, reps int) ([]E3Row, *Table, error) {
 			if err != nil {
 				return err
 			}
-			m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: func(e trace.Event) {
+			m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: trace.SinkFunc(func(e trace.Event) {
 				if err := tw.Write(e); err != nil {
 					panic(err)
 				}
-			}})
+			})})
 			if err != nil {
 				return err
 			}
@@ -380,9 +380,9 @@ func E3(scale Scale, reps int) ([]E3Row, *Table, error) {
 
 		wppBuild, err := timeBest(reps, func() error {
 			g := sequitur.New()
-			m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: func(e trace.Event) {
+			m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: trace.SinkFunc(func(e trace.Event) {
 				g.Append(uint64(e))
-			}})
+			})})
 			if err != nil {
 				return err
 			}
@@ -476,7 +476,7 @@ func E4(scale Scale, names []string, numSamples int) ([]E4Series, *Table, error)
 			return nil, nil, err
 		}
 		var total uint64
-		m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: func(trace.Event) { total++ }})
+		m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: trace.SinkFunc(func(trace.Event) { total++ })})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -495,14 +495,14 @@ func E4(scale Scale, names []string, numSamples int) ([]E4Series, *Table, error)
 		g := sequitur.New()
 		var pts []E4Point
 		var count uint64
-		m2, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: func(e trace.Event) {
+		m2, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: trace.SinkFunc(func(e trace.Event) {
 			g.Append(uint64(e))
 			count++
 			if count%step == 0 {
 				st := g.Stats()
 				pts = append(pts, E4Point{Events: count, Rules: st.Rules, RHSSymbols: st.RHSSymbols})
 			}
-		}})
+		})})
 		if err != nil {
 			return nil, nil, err
 		}

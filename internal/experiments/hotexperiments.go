@@ -184,10 +184,10 @@ func A1(scale Scale, names []string) ([]A1Row, *Table, error) {
 
 		gBlock := sequitur.New()
 		var blockEvents uint64
-		mb, err := interp.New(prog, interp.Config{Mode: interp.BlockTrace, Sink: func(e trace.Event) {
+		mb, err := interp.New(prog, interp.Config{Mode: interp.BlockTrace, Sink: trace.SinkFunc(func(e trace.Event) {
 			blockEvents++
 			gBlock.Append(uint64(e))
-		}})
+		})})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -197,10 +197,10 @@ func A1(scale Scale, names []string) ([]A1Row, *Table, error) {
 
 		gPath := sequitur.New()
 		var pathEvents uint64
-		mp, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: func(e trace.Event) {
+		mp, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: trace.SinkFunc(func(e trace.Event) {
 			pathEvents++
 			gPath.Append(uint64(e))
-		}})
+		})})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -259,9 +259,9 @@ func A2(scale Scale, names []string) ([]A2Row, *Table, error) {
 		}
 		arg := scale.Arg(w)
 		var events []trace.Event
-		m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: func(e trace.Event) {
+		m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: trace.SinkFunc(func(e trace.Event) {
 			events = append(events, e)
-		}})
+		})})
 		if err != nil {
 			return nil, nil, err
 		}

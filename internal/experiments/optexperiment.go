@@ -102,8 +102,8 @@ func A4(scale Scale, _ []string) ([]A4Row, *Table, error) {
 			if err != nil {
 				return 0, 0, 0, 0, err
 			}
-			var b *iwpp.Builder
-			m, err := interp.New(compiled, interp.Config{Mode: interp.PathTrace, Sink: func(e trace.Event) { b.Add(e) }})
+			var b *iwpp.MonoBuilder
+			m, err := interp.New(compiled, interp.Config{Mode: interp.PathTrace, Sink: trace.SinkFunc(func(e trace.Event) { b.Add(e) })})
 			if err != nil {
 				return 0, 0, 0, 0, err
 			}
@@ -111,7 +111,7 @@ func A4(scale Scale, _ []string) ([]A4Row, *Table, error) {
 			for i, f := range compiled.Funcs {
 				fnames[i] = f.Name
 			}
-			b = iwpp.NewBuilder(fnames, m.Numberings())
+			b = iwpp.NewMonoBuilder(fnames, m.Numberings())
 			res, err := m.Run("main", arg)
 			if err != nil {
 				return 0, 0, 0, 0, err

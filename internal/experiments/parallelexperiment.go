@@ -57,9 +57,9 @@ func P1(scale Scale, names []string, chunkSize uint64, workers, reps int) ([]P1R
 			return nil, nil, err
 		}
 		var events []trace.Event
-		m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: func(e trace.Event) {
+		m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: trace.SinkFunc(func(e trace.Event) {
 			events = append(events, e)
-		}})
+		})})
 		if err != nil {
 			return nil, nil, err
 		}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/interp"
+	"repro/internal/trace"
+	"repro/internal/wlc"
+	"repro/internal/workloads"
+	iwpp "repro/internal/wpp"
+)
+
+// verifyChunkSize is the chunk geometry the verification pre-pass uses
+// for the chunked build of each workload.
+const verifyChunkSize = 4096
+
+// VerifyAll builds each named workload at the given scale through the
+// unified builder — once monolithic, once chunked — deep-verifies both
+// artifacts (SEQUITUR invariants, chunk geometry, path-ID bounds), and
+// reports the verification summaries. It backs wppbench -verify:
+// experiment numbers are only worth reporting when the artifacts they
+// measure hold their invariants.
+func VerifyAll(scale Scale, names []string) (*Table, error) {
+	tbl := &Table{
+		ID:     "verify",
+		Title:  "artifact deep verification",
+		Header: []string{"workload", "kind", "events", "chunks", "rules", "digram dups/bound", "status"},
+		Notes:  []string{fmt.Sprintf("chunked builds use chunk size %d", verifyChunkSize)},
+	}
+	for _, name := range names {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, opts := range []iwpp.BuildOptions{{}, {ChunkSize: verifyChunkSize}} {
+			art, err := buildWith(w, scale, opts)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := art.VerifyArtifact()
+			if err != nil {
+				return nil, fmt.Errorf("%s (%s): %w", name, rep.Kind, err)
+			}
+			tbl.Rows = append(tbl.Rows, []string{
+				name, rep.Kind,
+				fmt.Sprint(rep.Events), fmt.Sprint(rep.Chunks), fmt.Sprint(rep.Rules),
+				fmt.Sprintf("%d/%d", rep.DupDigrams, rep.DupDigramBound),
+				"ok",
+			})
+		}
+	}
+	return tbl, nil
+}
+
+// buildWith traces one workload through the unified builder with the
+// given construction options and seals the artifact.
+func buildWith(w workloads.Workload, scale Scale, opts iwpp.BuildOptions) (iwpp.Artifact, error) {
+	prog, err := wlc.Compile(w.Source)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	var b iwpp.Builder
+	m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: trace.SinkFunc(func(e trace.Event) { b.Add(e) })})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	names := make([]string, len(prog.Funcs))
+	for i, f := range prog.Funcs {
+		names[i] = f.Name
+	}
+	b = iwpp.New(names, m.Numberings(), opts)
+	if _, err := m.Run("main", scale.Arg(w)); err != nil {
+		b.Finish(0)
+		return nil, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	return b.Finish(m.Stats().Instructions), nil
+}

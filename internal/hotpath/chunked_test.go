@@ -29,12 +29,12 @@ func programBoth(t *testing.T, src string, chunkSize uint64, args ...int64) (*wp
 	if err != nil {
 		t.Fatal(err)
 	}
-	var mb *wpp.Builder
+	var mb *wpp.MonoBuilder
 	var cb *wpp.ChunkedBuilder
-	m, err := interp.New(p, interp.Config{Mode: interp.PathTrace, Sink: func(e trace.Event) {
+	m, err := interp.New(p, interp.Config{Mode: interp.PathTrace, Sink: trace.SinkFunc(func(e trace.Event) {
 		mb.Add(e)
 		cb.Add(e)
-	}})
+	})})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func programBoth(t *testing.T, src string, chunkSize uint64, args ...int64) (*wp
 	for i, f := range p.Funcs {
 		names[i] = f.Name
 	}
-	mb = wpp.NewBuilder(names, m.Numberings())
+	mb = wpp.NewMonoBuilder(names, m.Numberings())
 	cb = wpp.NewChunkedBuilder(names, m.Numberings(), chunkSize)
 	if _, err := m.Run("main", args...); err != nil {
 		t.Fatal(err)

@@ -3,26 +3,54 @@ package hotpath
 import (
 	"sort"
 
+	"repro/internal/engine"
+	"repro/internal/sequitur"
 	"repro/internal/trace"
 	"repro/internal/wpp"
 )
 
-// EventFrequencies returns the execution count of every distinct acyclic
-// path event, computed from the grammar without decompressing the trace:
+// freqFold is the event-frequency analysis expressed over the engine:
 // each terminal occurrence in a rule body contributes the rule's
-// derivation-tree use count.
-func EventFrequencies(w *wpp.WPP) map[trace.Event]uint64 {
-	a := newAnalysis(w.Grammar)
-	freqs := make(map[trace.Event]uint64)
-	for r, rhs := range a.snap.Rules {
-		uses := a.uses[r]
-		for _, s := range rhs {
-			if !s.IsRule() {
-				freqs[trace.Event(s.Value)] += uses
-			}
-		}
+// derivation-tree use count, and chunk results merge by summation.
+type freqFold struct{}
+
+func (freqFold) Chunk(_ int, a *engine.Analysis) map[trace.Event]uint64 {
+	m := make(map[trace.Event]uint64)
+	a.Terminals(func(v, uses uint64) {
+		m[trace.Event(v)] += uses
+	})
+	return m
+}
+
+func (freqFold) Merge(acc, next map[trace.Event]uint64) map[trace.Event]uint64 {
+	for e, n := range next {
+		acc[e] += n
+	}
+	return acc
+}
+
+// frequencies is the single implementation behind EventFrequencies and
+// ChunkedEventFrequencies.
+func frequencies(snaps []*sequitur.Snapshot, workers int) map[trace.Event]uint64 {
+	freqs := engine.Run(snaps, workers, freqFold{})
+	if freqs == nil {
+		freqs = make(map[trace.Event]uint64)
 	}
 	return freqs
+}
+
+// EventFrequencies returns the execution count of every distinct acyclic
+// path event, computed from the grammar without decompressing the trace.
+func EventFrequencies(w *wpp.WPP) map[trace.Event]uint64 {
+	return frequencies([]*sequitur.Snapshot{w.Grammar}, 1)
+}
+
+// ChunkedEventFrequencies returns the execution count of every distinct
+// event, computed per chunk in compressed form on `workers` goroutines
+// (<=0 means GOMAXPROCS) and merged. It matches EventFrequencies on a
+// monolithic WPP over the same stream exactly.
+func ChunkedEventFrequencies(c *wpp.ChunkedWPP, workers int) map[trace.Event]uint64 {
+	return frequencies(c.Chunks, workers)
 }
 
 // PathProfileEntry is one row of a classic Ball–Larus path profile,

@@ -5,15 +5,14 @@
 // execution, where no shorter contained subpath is itself hot.
 //
 // The analysis runs directly on the SEQUITUR grammar, without
-// decompressing the trace. Every window of the expanded trace either
-// crosses a boundary between two right-hand-side symbols of exactly one
-// lowest rule, or lies entirely within one nonterminal's expansion and is
-// attributed recursively; so enumerating, for each rule, the windows that
-// cross its RHS boundaries — weighted by how often the rule occurs in the
-// derivation — counts every trace window exactly once. FindByScan is the
-// paper's strawman alternative (decompress and slide a window); it
-// produces identical results and serves as both the E6 baseline and a
-// correctness oracle in tests.
+// decompressing the trace, as a fold over the engine package's single
+// traversal: per-chunk window counting on the grammar DAG, plus boundary
+// windows materialized across chunk seams. A monolithic WPP is the
+// one-chunk special case of the same fold, so Find and FindChunked share
+// one implementation and produce identical subpaths for identical event
+// streams. FindByScan is the paper's strawman alternative (decompress and
+// slide a window); it produces identical results and serves as both the
+// E6 baseline and a correctness oracle in tests.
 package hotpath
 
 import (
@@ -21,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/engine"
 	"repro/internal/obsv"
 	"repro/internal/sequitur"
 	"repro/internal/trace"
@@ -30,8 +30,8 @@ import (
 // Metrics is the analysis-side observability hook set. Fields may be nil
 // (obsv metrics are nil-safe); a nil *Metrics disables instrumentation.
 type Metrics struct {
-	// ChunksScanned counts chunk grammars analyzed by the chunked
-	// searches.
+	// ChunksScanned counts chunk grammars analyzed by the searches (a
+	// monolithic search scans exactly one).
 	ChunksScanned *obsv.Counter
 	// BoundaryWindows counts window occurrences materialized from chunk
 	// boundary regions (the work chunking adds over the monolithic scan).
@@ -102,22 +102,89 @@ type Subpath struct {
 }
 
 // Find locates all minimal hot subpaths by analyzing the grammar in
-// compressed form.
+// compressed form: the one-chunk case of the shared fold.
 func Find(w *wpp.WPP, opts Options) ([]Subpath, error) {
+	return find([]*sequitur.Snapshot{w.Grammar}, 1, opts, w.PathCost, w.Instructions)
+}
+
+// FindChunked locates the same minimal hot subpaths as Find would on a
+// monolithic WPP of the identical event stream, analyzing a chunked WPP
+// with per-chunk passes on `workers` goroutines (<=0 means GOMAXPROCS).
+// A window of the full trace either lies entirely inside one chunk —
+// counted on that chunk's grammar, in compressed form — or crosses a
+// chunk boundary and is counted once, attributed to the chunk containing
+// its start position. Merging is by summation, so worker scheduling
+// cannot change any count.
+func FindChunked(c *wpp.ChunkedWPP, opts Options, workers int) ([]Subpath, error) {
+	return find(c.Chunks, workers, opts, c.PathCost, c.Instructions)
+}
+
+// windowState accumulates per-chunk window counts (one map per window
+// length) and boundary regions across the merge.
+type windowState struct {
+	counts []map[string]uint64 // counts[l-MinLen]: windows fully inside scanned chunks
+	bounds []engine.Boundary   // one per chunk, in chunk order
+}
+
+// windowFold is the hot-subpath search expressed over the engine: the
+// per-chunk pass counts every window length on the grammar and
+// materializes the chunk's boundary regions; the merge sums counts and
+// concatenates boundaries in chunk order.
+type windowFold struct {
+	opts Options
+	met  *Metrics
+}
+
+func (f windowFold) Chunk(_ int, a *engine.Analysis) *windowState {
+	f.met.ChunksScanned.Inc()
+	nl := f.opts.MaxLen - f.opts.MinLen + 1
+	st := &windowState{counts: make([]map[string]uint64, nl)}
+	for l := f.opts.MinLen; l <= f.opts.MaxLen; l++ {
+		m := make(map[string]uint64)
+		a.CountWindows(l, m)
+		st.counts[l-f.opts.MinLen] = m
+	}
+	st.bounds = []engine.Boundary{a.Boundary(f.opts.MaxLen - 1)}
+	return st
+}
+
+func (f windowFold) Merge(acc, next *windowState) *windowState {
+	for li, m := range next.counts {
+		for k, n := range m {
+			acc.counts[li][k] += n
+		}
+	}
+	acc.bounds = append(acc.bounds, next.bounds...)
+	return acc
+}
+
+// find is the single hot-subpath implementation behind Find and
+// FindChunked: run the window fold over the chunk sequence, add the
+// boundary-crossing windows (weight 1 each, attributed to the chunk
+// holding their start — a single chunk contributes none), then harvest
+// minimal hot subpaths length by length.
+func find(snaps []*sequitur.Snapshot, workers int, opts Options, costOf func(trace.Event) uint64, total uint64) ([]Subpath, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	a := newAnalysis(w.Grammar)
-	counts := make(map[string]uint64)
-	hot := map[string]bool{}
+	met := opts.metrics()
+	st := engine.Run(snaps, workers, windowFold{opts: opts, met: met})
 	var result []Subpath
-	for l := opts.MinLen; l <= opts.MaxLen; l++ {
-		clear(counts)
-		a.countWindows(l, counts)
-		result = harvest(counts, l, opts, hot, result, w.PathCost, w.Instructions)
+	if st != nil {
+		hot := map[string]bool{}
+		key := make([]byte, 0, opts.MaxLen*8)
+		for l := opts.MinLen; l <= opts.MaxLen; l++ {
+			counts := st.counts[l-opts.MinLen]
+			engine.CrossingWindows(st.bounds, l, func(window []uint64) {
+				key = engine.AppendKey(key[:0], window)
+				counts[string(key)]++
+				met.BoundaryWindows.Inc()
+			})
+			result = harvest(counts, l, opts, hot, result, costOf, total)
+		}
 	}
 	sortSubpaths(result)
-	opts.metrics().SubpathsEmitted.Add(uint64(len(result)))
+	met.SubpathsEmitted.Add(uint64(len(result)))
 	return result, nil
 }
 
@@ -146,182 +213,6 @@ func FindByScan(w *wpp.WPP, opts Options) ([]Subpath, error) {
 	}
 	sortSubpaths(result)
 	return result, nil
-}
-
-// analysis caches per-grammar derived data shared by window counting. It
-// is built per snapshot, so chunked analyses construct one per chunk.
-type analysis struct {
-	snap    *sequitur.Snapshot
-	expLen  []uint64   // expansion length per rule
-	uses    []uint64   // occurrences of each rule in the derivation tree
-	cumLens [][]uint64 // per rule: cumulative expansion length after each RHS symbol
-}
-
-func newAnalysis(snap *sequitur.Snapshot) *analysis {
-	a := &analysis{snap: snap}
-	n := len(a.snap.Rules)
-	a.expLen = a.snap.ExpandedLen()
-	a.uses = make([]uint64, n)
-	if n > 0 {
-		a.uses[0] = 1
-		for _, r := range a.topoOrder() {
-			for _, s := range a.snap.Rules[r] {
-				if s.IsRule() {
-					a.uses[s.Rule] += a.uses[r]
-				}
-			}
-		}
-	}
-	a.cumLens = make([][]uint64, n)
-	for i, rhs := range a.snap.Rules {
-		cum := make([]uint64, len(rhs)+1)
-		for j, s := range rhs {
-			if s.IsRule() {
-				cum[j+1] = cum[j] + a.expLen[s.Rule]
-			} else {
-				cum[j+1] = cum[j] + 1
-			}
-		}
-		a.cumLens[i] = cum
-	}
-	return a
-}
-
-// topoOrder returns rule indices with every parent before its children.
-func (a *analysis) topoOrder() []int32 {
-	n := len(a.snap.Rules)
-	state := make([]int8, n)
-	order := make([]int32, 0, n)
-	var visit func(int32)
-	visit = func(r int32) {
-		if state[r] != 0 {
-			return
-		}
-		state[r] = 1
-		for _, s := range a.snap.Rules[r] {
-			if s.IsRule() {
-				visit(s.Rule)
-			}
-		}
-		order = append(order, r)
-	}
-	visit(0)
-	// Reverse postorder = parents first.
-	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
-		order[i], order[j] = order[j], order[i]
-	}
-	return order
-}
-
-// collect appends the terminals of rule r's expansion in [start,
-// start+length) to out.
-func (a *analysis) collect(r int32, start, length uint64, out []uint64) []uint64 {
-	rhs := a.snap.Rules[r]
-	cum := a.cumLens[r]
-	// Binary search for the first RHS symbol whose span contains start.
-	j := sort.Search(len(rhs), func(j int) bool { return cum[j+1] > start })
-	for ; length > 0 && j < len(rhs); j++ {
-		s := rhs[j]
-		if !s.IsRule() {
-			out = append(out, s.Value)
-			length--
-			start = cum[j+1]
-			continue
-		}
-		childStart := start - cum[j]
-		avail := a.expLen[s.Rule] - childStart
-		take := length
-		if take > avail {
-			take = avail
-		}
-		out = a.collect(s.Rule, childStart, take, out)
-		length -= take
-		start = cum[j+1]
-	}
-	return out
-}
-
-// countWindows accumulates, for every distinct window of length l in the
-// expanded trace, its total occurrence count. Keys are big-endian byte
-// strings of the window's events.
-func (a *analysis) countWindows(l int, counts map[string]uint64) {
-	if len(a.snap.Rules) == 0 {
-		return
-	}
-	if l == 1 {
-		// Single-event windows never cross boundaries; count terminals
-		// directly.
-		var key [8]byte
-		for r, rhs := range a.snap.Rules {
-			for _, s := range rhs {
-				if !s.IsRule() {
-					binary.BigEndian.PutUint64(key[:], s.Value)
-					counts[string(key[:])] += a.uses[r]
-				}
-			}
-		}
-		return
-	}
-	L := uint64(l)
-	var terms []uint64
-	key := make([]byte, 0, l*8)
-	for r := range a.snap.Rules {
-		if a.uses[r] == 0 {
-			continue
-		}
-		cum := a.cumLens[r]
-		total := cum[len(cum)-1]
-		if total < L {
-			continue
-		}
-		ruleUses := a.uses[r]
-		maxStart := total - L
-		// Enumerate window start offsets that cross at least one boundary
-		// between RHS symbols, merged into maximal runs [lo, hi) so each
-		// run's terminals are materialized once and the window slides.
-		next := uint64(0)
-		runLo, runHi := uint64(0), uint64(0)
-		haveRun := false
-		flush := func() {
-			if !haveRun {
-				return
-			}
-			terms = a.collect(int32(r), runLo, runHi-1+L-runLo, terms[:0])
-			for o := runLo; o < runHi; o++ {
-				key = key[:0]
-				for _, v := range terms[o-runLo : o-runLo+L] {
-					key = binary.BigEndian.AppendUint64(key, v)
-				}
-				counts[string(key)] += ruleUses
-			}
-			haveRun = false
-		}
-		for b := 1; b < len(cum)-1; b++ {
-			p := cum[b]
-			lo := uint64(0)
-			if p >= L {
-				lo = p - L + 1
-			}
-			if lo < next {
-				lo = next
-			}
-			hi := p // window must start strictly before the boundary
-			if hi > maxStart+1 {
-				hi = maxStart + 1
-			}
-			if lo >= hi {
-				continue
-			}
-			if haveRun && lo <= runHi {
-				runHi = hi
-			} else {
-				flush()
-				runLo, runHi, haveRun = lo, hi, true
-			}
-			next = hi
-		}
-		flush()
-	}
 }
 
 // harvest converts this length's window counts into subpaths, marks hot
@@ -365,9 +256,10 @@ func containsHotSub(key string, l, minLen int, hot map[string]bool) bool {
 }
 
 func decodeKey(key string) []trace.Event {
-	events := make([]trace.Event, len(key)/8)
-	for i := range events {
-		events[i] = trace.Event(binary.BigEndian.Uint64([]byte(key[i*8 : (i+1)*8])))
+	syms := engine.DecodeKey(key)
+	events := make([]trace.Event, len(syms))
+	for i, v := range syms {
+		events[i] = trace.Event(v)
 	}
 	return events
 }

@@ -15,7 +15,7 @@ import (
 // syntheticWPP builds a WPP over function 0 from a bare event-ID stream,
 // with every path costing 1 instruction.
 func syntheticWPP(ids []uint64) *wpp.WPP {
-	b := wpp.NewBuilder([]string{"f"}, nil)
+	b := wpp.NewMonoBuilder([]string{"f"}, nil)
 	for _, id := range ids {
 		b.Add(trace.MakeEvent(0, id))
 	}
@@ -28,8 +28,8 @@ func programWPP(t *testing.T, src string, args ...int64) *wpp.WPP {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var b *wpp.Builder
-	m, err := interp.New(p, interp.Config{Mode: interp.PathTrace, Sink: func(e trace.Event) { b.Add(e) }})
+	var b *wpp.MonoBuilder
+	m, err := interp.New(p, interp.Config{Mode: interp.PathTrace, Sink: trace.SinkFunc(func(e trace.Event) { b.Add(e) })})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func programWPP(t *testing.T, src string, args ...int64) *wpp.WPP {
 	for i, f := range p.Funcs {
 		names[i] = f.Name
 	}
-	b = wpp.NewBuilder(names, m.Numberings())
+	b = wpp.NewMonoBuilder(names, m.Numberings())
 	if _, err := m.Run("main", args...); err != nil {
 		t.Fatal(err)
 	}

@@ -101,7 +101,7 @@ func main(n) {
 		t.Fatal(err)
 	}
 	plain := run(t, src, 20)
-	m, err := New(p, Config{Mode: PathTrace, Sink: func(trace.Event) {}})
+	m, err := New(p, Config{Mode: PathTrace, Sink: trace.SinkFunc(func(trace.Event) {})})
 	if err != nil {
 		t.Fatal(err)
 	}

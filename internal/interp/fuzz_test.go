@@ -268,7 +268,7 @@ func checkPipeline(t *testing.T, trial int, src string) {
 
 	// Block-traced run.
 	var blocks []trace.Event
-	mBlock, err := New(prog, Config{Mode: BlockTrace, MaxInstrs: budget, Sink: func(e trace.Event) { blocks = append(blocks, e) }})
+	mBlock, err := New(prog, Config{Mode: BlockTrace, MaxInstrs: budget, Sink: trace.SinkFunc(func(e trace.Event) { blocks = append(blocks, e) })})
 	if err != nil {
 		fail("new block: %v", err)
 	}
@@ -278,11 +278,11 @@ func checkPipeline(t *testing.T, trial int, src string) {
 
 	// Path-traced run building a WPP online.
 	var events []trace.Event
-	var builder *iwpp.Builder
-	mPath, err := New(prog, Config{Mode: PathTrace, MaxInstrs: budget, Sink: func(e trace.Event) {
+	var builder *iwpp.MonoBuilder
+	mPath, err := New(prog, Config{Mode: PathTrace, MaxInstrs: budget, Sink: trace.SinkFunc(func(e trace.Event) {
 		events = append(events, e)
 		builder.Add(e)
-	}})
+	})})
 	if err != nil {
 		fail("new path: %v", err)
 	}
@@ -290,7 +290,7 @@ func checkPipeline(t *testing.T, trial int, src string) {
 	for i, f := range prog.Funcs {
 		names[i] = f.Name
 	}
-	builder = iwpp.NewBuilder(names, mPath.Numberings())
+	builder = iwpp.NewMonoBuilder(names, mPath.Numberings())
 	if got, err := mPath.Run("main", arg); err != nil || got != want {
 		fail("path-traced: got %d err %v, want %d", got, err, want)
 	}

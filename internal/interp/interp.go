@@ -34,8 +34,11 @@ const (
 // Config controls an execution.
 type Config struct {
 	Mode Mode
-	// Sink receives every trace event. Required for BlockTrace/PathTrace.
-	Sink func(trace.Event)
+	// Sink receives every trace event; the interpreter is the push side
+	// of the trace.Source/trace.Sink pipeline, so any WPP builder (or
+	// trace.SinkFunc closure) plugs in directly. Required for
+	// BlockTrace/PathTrace.
+	Sink trace.Sink
 	// EdgeSink, when set, observes every CFG edge taken: function ID,
 	// source block, and the successor index within the source block. It
 	// feeds edge-frequency profiles (e.g. for profile-guided
@@ -204,7 +207,7 @@ func (m *Machine) call(f *wlc.Func, args []Value) (Value, error) {
 		}
 		if m.cfg.Mode == BlockTrace {
 			m.stats.Events++
-			m.cfg.Sink(trace.MakeEvent(uint32(f.ID), uint64(cur)))
+			m.cfg.Sink.Add(trace.MakeEvent(uint32(f.ID), uint64(cur)))
 		}
 		for i := range f.Code[cur] {
 			in := &f.Code[cur][i]
@@ -226,7 +229,7 @@ func (m *Machine) call(f *wlc.Func, args []Value) (Value, error) {
 		case TermExitKind:
 			if m.cfg.Mode == PathTrace {
 				m.stats.Events++
-				m.cfg.Sink(trace.MakeEvent(uint32(f.ID), pathReg))
+				m.cfg.Sink.Add(trace.MakeEvent(uint32(f.ID), pathReg))
 			}
 			return regs[0], nil
 		}
@@ -238,7 +241,7 @@ func (m *Machine) call(f *wlc.Func, args []Value) (Value, error) {
 			ep := m.plans[f.ID][cur][si]
 			if ep.back {
 				m.stats.Events++
-				m.cfg.Sink(trace.MakeEvent(uint32(f.ID), pathReg+ep.emitAdd))
+				m.cfg.Sink.Add(trace.MakeEvent(uint32(f.ID), pathReg+ep.emitAdd))
 				pathReg = ep.reset
 			} else {
 				pathReg += ep.add

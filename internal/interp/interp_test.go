@@ -359,7 +359,7 @@ func TestPathTraceMatchesBlockTrace(t *testing.T) {
 	}
 
 	var blocks []trace.Event
-	mb, err := New(p, Config{Mode: BlockTrace, Sink: func(e trace.Event) { blocks = append(blocks, e) }})
+	mb, err := New(p, Config{Mode: BlockTrace, Sink: trace.SinkFunc(func(e trace.Event) { blocks = append(blocks, e) })})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -369,7 +369,7 @@ func TestPathTraceMatchesBlockTrace(t *testing.T) {
 	}
 
 	var paths []trace.Event
-	mp, err := New(p, Config{Mode: PathTrace, Sink: func(e trace.Event) { paths = append(paths, e) }})
+	mp, err := New(p, Config{Mode: PathTrace, Sink: trace.SinkFunc(func(e trace.Event) { paths = append(paths, e) })})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -418,7 +418,7 @@ func TestTracingDoesNotChangeSemantics(t *testing.T) {
 		}
 		want := run(t, src, 17)
 		for _, mode := range []Mode{BlockTrace, PathTrace} {
-			m, err := New(p, Config{Mode: mode, Sink: func(trace.Event) {}})
+			m, err := New(p, Config{Mode: mode, Sink: trace.SinkFunc(func(trace.Event) {})})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,0 +1,81 @@
+package trace
+
+import "io"
+
+// Sink consumes a stream of path events in execution order. The
+// interpreter emits through a Sink, and every WPP builder is one; any
+// component that accepts events one at a time fits here.
+type Sink interface {
+	Add(Event)
+}
+
+// SinkFunc adapts a plain function to a Sink, for call sites that tee,
+// filter, or late-bind the real consumer.
+type SinkFunc func(Event)
+
+// Add calls f(e).
+func (f SinkFunc) Add(e Event) { f(e) }
+
+// Source streams path events in order without requiring the whole trace
+// in memory. Each calls yield for every event until the stream ends or
+// yield returns false, and reports how many events were yielded.
+// Implementations: Buffer (in-memory slice), ReaderSource (raw trace
+// file); the interpreter is the push-side dual, feeding a Sink directly.
+type Source interface {
+	Each(yield func(Event) bool) (uint64, error)
+}
+
+// Each yields the buffered events; Buffer is the in-memory Source.
+func (b *Buffer) Each(yield func(Event) bool) (uint64, error) {
+	for i, e := range b.Events {
+		if !yield(e) {
+			return uint64(i + 1), nil
+		}
+	}
+	return uint64(len(b.Events)), nil
+}
+
+// ReaderSource adapts a raw trace Reader ("WPT1" stream) to a Source,
+// so a recorded trace file replays through the same pipeline as a live
+// execution.
+type ReaderSource struct {
+	r *Reader
+}
+
+// NewReaderSource validates the trace magic on rd and returns the
+// streaming source.
+func NewReaderSource(rd io.Reader) (*ReaderSource, error) {
+	r, err := NewReader(rd)
+	if err != nil {
+		return nil, err
+	}
+	return &ReaderSource{r: r}, nil
+}
+
+// Each streams events until EOF or until yield returns false.
+func (s *ReaderSource) Each(yield func(Event) bool) (uint64, error) {
+	var n uint64
+	for {
+		e, err := s.r.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		n++
+		if !yield(e) {
+			return n, nil
+		}
+	}
+}
+
+// Copy drains src into dst and reports the number of events moved. It is
+// the bridge between the pull side (Source) and the push side (Sink) of
+// the pipeline.
+func Copy(dst Sink, src Source) (uint64, error) {
+	return src.Each(func(e Event) bool {
+		dst.Add(e)
+		return true
+	})
+}

@@ -28,16 +28,35 @@ const MaxFuncs = 1 << 21
 // Event is a packed (function, path) pair: funcID<<PathBits | pathID.
 type Event uint64
 
+// NewEvent packs a function ID and path ID, rejecting out-of-range
+// components. Decode paths use it to refuse events no numbering could
+// have produced; internally-validated numbering code uses MakeEvent.
+func NewEvent(fn uint32, path uint64) (Event, error) {
+	if fn >= MaxFuncs {
+		return 0, fmt.Errorf("trace: function ID %d out of range (max %d)", fn, MaxFuncs-1)
+	}
+	if path >= 1<<PathBits {
+		return 0, fmt.Errorf("trace: path ID %d out of range (max %d)", path, uint64(1)<<PathBits-1)
+	}
+	return Event(uint64(fn)<<PathBits | path), nil
+}
+
 // MakeEvent packs a function ID and path ID. It panics if either is out of
 // range; callers validate sizes when numbering functions.
 func MakeEvent(fn uint32, path uint64) Event {
-	if fn >= MaxFuncs {
-		panic(fmt.Sprintf("trace: function ID %d out of range", fn))
+	e, err := NewEvent(fn, path)
+	if err != nil {
+		panic(err.Error())
 	}
-	if path >= 1<<PathBits {
-		panic(fmt.Sprintf("trace: path ID %d out of range", path))
-	}
-	return Event(uint64(fn)<<PathBits | path)
+	return e
+}
+
+// CheckEvent validates a packed event read from an untrusted encoding:
+// the function ID must be representable by MakeEvent. (Path IDs are
+// bounded by construction — the low PathBits bits cannot overflow.)
+func CheckEvent(e Event) error {
+	_, err := NewEvent(e.Func(), e.Path())
+	return err
 }
 
 // Func returns the function ID of the event.

@@ -17,7 +17,7 @@ func runSmall(t *testing.T, w Workload, mode interp.Mode) (int64, interp.Stats) 
 	}
 	cfg := interp.Config{Mode: mode}
 	if mode != interp.NoTrace {
-		cfg.Sink = func(trace.Event) {}
+		cfg.Sink = trace.SinkFunc(func(trace.Event) {})
 	}
 	m, err := interp.New(p, cfg)
 	if err != nil {

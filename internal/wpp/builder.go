@@ -1,0 +1,219 @@
+package wpp
+
+import (
+	"bufio"
+	"io"
+	"time"
+
+	"repro/internal/bl"
+	"repro/internal/trace"
+	"repro/internal/wpp/codec"
+)
+
+// Builder is the unified front-end of WPP construction: a trace.Sink
+// that compresses the event stream online and seals it into an
+// Artifact. Both construction strategies implement it — the monolithic
+// single-grammar builder and the parallel chunked pipeline — so callers
+// select a strategy with BuildOptions instead of wiring to a concrete
+// type.
+type Builder interface {
+	trace.Sink
+	// Events reports the number of events consumed so far.
+	Events() uint64
+	// Finish seals the artifact. instructions is the total executed
+	// instruction count. The builder cannot be used afterwards.
+	Finish(instructions uint64) Artifact
+	// Report returns the build summary; nil before Finish.
+	Report() *BuildReport
+}
+
+// Artifact is a sealed whole program path, monolithic or chunked: the
+// common analysis and persistence surface over *WPP and *ChunkedWPP.
+// It is a superset of codec.Artifact, so any Artifact round-trips
+// through the format registry. Callers needing strategy-specific API
+// (Grammar, Chunks, positional queries) type-assert to the concrete
+// type.
+type Artifact interface {
+	codec.Artifact
+	// NumEvents is the trace length (number of acyclic path events).
+	NumEvents() uint64
+	// TotalInstructions is the executed IR instruction count.
+	TotalInstructions() uint64
+	// FuncTable lists the traced functions, indexed by function ID.
+	FuncTable() []FuncInfo
+	// DistinctPaths reports how many distinct (function, path) pairs
+	// were executed.
+	DistinctPaths() int
+	// PathCost returns the instruction cost of one event's acyclic
+	// path; unknown events cost 0.
+	PathCost(trace.Event) uint64
+	// Walk yields the full event trace in order, stopping early if
+	// yield returns false.
+	Walk(yield func(trace.Event) bool)
+	// VerifyArtifact deep-checks the artifact beyond Verify's
+	// structural pass (SEQUITUR invariants, path-ID bounds).
+	VerifyArtifact() (VerifyReport, error)
+}
+
+// BuildOptions selects and tunes the construction strategy.
+type BuildOptions struct {
+	// ChunkSize selects the strategy: 0 builds one monolithic grammar;
+	// positive seals a chunk grammar every ChunkSize events via the
+	// parallel pipeline.
+	ChunkSize uint64
+	// Workers is the parallel pipeline's pool size (<=0 means
+	// GOMAXPROCS). Ignored for monolithic builds, which are inherently
+	// sequential. The artifact is byte-identical at every worker count.
+	Workers int
+	// Metrics installs observability hooks on the build; nil disables
+	// instrumentation. The artifact is identical either way.
+	Metrics *BuildMetrics
+}
+
+// New returns a Builder for a program whose functions have the given
+// Ball–Larus numberings (indexed by function ID), constructing with the
+// strategy opts selects.
+func New(names []string, nums []*bl.Numbering, opts BuildOptions) Builder {
+	if opts.ChunkSize == 0 {
+		b := NewMonoBuilder(names, nums)
+		b.SetMetrics(opts.Metrics)
+		return &monoHandle{b: b}
+	}
+	return &chunkedHandle{
+		b: NewParallelChunkedBuilder(names, nums, opts.ChunkSize, ParallelOptions{
+			Workers: opts.Workers,
+			Metrics: opts.Metrics,
+		}),
+	}
+}
+
+// monoHandle adapts MonoBuilder to the Builder interface.
+type monoHandle struct {
+	b      *MonoBuilder
+	start  time.Time
+	report *BuildReport
+}
+
+func (h *monoHandle) Add(e trace.Event) {
+	if h.start.IsZero() {
+		h.start = time.Now()
+	}
+	h.b.Add(e)
+}
+
+func (h *monoHandle) Events() uint64 { return h.b.Events() }
+
+func (h *monoHandle) Finish(instructions uint64) Artifact {
+	if h.start.IsZero() {
+		h.start = time.Now()
+	}
+	w := h.b.Finish(instructions)
+	r := BuildReport{
+		Events:        w.Events,
+		Chunks:        1,
+		DistinctPaths: w.DistinctPaths(),
+		Workers:       1,
+		BytesIn:       w.rawTraceBytes(),
+		BytesOut:      w.EncodedSize(),
+		WallTime:      time.Since(h.start),
+		WorkerBusy:    []float64{1},
+	}
+	if r.BytesOut > 0 {
+		r.Ratio = float64(r.BytesIn) / float64(r.BytesOut)
+	}
+	h.report = &r
+	return w
+}
+
+func (h *monoHandle) Report() *BuildReport { return h.report }
+
+// chunkedHandle adapts ParallelChunkedBuilder to the Builder interface.
+type chunkedHandle struct {
+	b        *ParallelChunkedBuilder
+	finished bool
+}
+
+func (h *chunkedHandle) Add(e trace.Event) { h.b.Add(e) }
+
+func (h *chunkedHandle) Events() uint64 { return h.b.Events() }
+
+func (h *chunkedHandle) Finish(instructions uint64) Artifact {
+	c := h.b.Finish(instructions)
+	h.finished = true
+	return c
+}
+
+func (h *chunkedHandle) Report() *BuildReport {
+	if !h.finished {
+		return nil
+	}
+	r := h.b.Report()
+	return &r
+}
+
+// NumEvents is the trace length; part of the Artifact interface (the
+// Events field keeps its name for direct users).
+func (w *WPP) NumEvents() uint64 { return w.Events }
+
+// TotalInstructions is the executed instruction count; part of the
+// Artifact interface.
+func (w *WPP) TotalInstructions() uint64 { return w.Instructions }
+
+// FuncTable lists the traced functions; part of the Artifact interface.
+func (w *WPP) FuncTable() []FuncInfo { return w.Funcs }
+
+// NumEvents is the trace length; part of the Artifact interface.
+func (c *ChunkedWPP) NumEvents() uint64 { return c.Events }
+
+// TotalInstructions is the executed instruction count; part of the
+// Artifact interface.
+func (c *ChunkedWPP) TotalInstructions() uint64 { return c.Instructions }
+
+// FuncTable lists the traced functions; part of the Artifact interface.
+func (c *ChunkedWPP) FuncTable() []FuncInfo { return c.Funcs }
+
+// Interface conformance.
+var (
+	_ Builder  = (*monoHandle)(nil)
+	_ Builder  = (*chunkedHandle)(nil)
+	_ Artifact = (*WPP)(nil)
+	_ Artifact = (*ChunkedWPP)(nil)
+)
+
+// The on-disk formats register with the codec at link time; any tool
+// importing this package can DecodeAny both.
+func init() {
+	codec.Register(codec.Format{
+		Magic: wppMagic,
+		Name:  "monolithic WPP",
+		Decode: func(br *bufio.Reader) (codec.Artifact, error) {
+			w, err := decodeBody(br)
+			if err != nil {
+				return nil, err
+			}
+			return w, nil
+		},
+	})
+	codec.Register(codec.Format{
+		Magic: chunkedMagic,
+		Name:  "chunked WPP",
+		Decode: func(br *bufio.Reader) (codec.Artifact, error) {
+			c, err := decodeChunkedBody(br)
+			if err != nil {
+				return nil, err
+			}
+			return c, nil
+		},
+	})
+}
+
+// DecodeArtifact decodes either artifact format via the codec registry,
+// returning the unified Artifact surface.
+func DecodeArtifact(r io.Reader) (Artifact, error) {
+	a, err := codec.DecodeAny(r)
+	if err != nil {
+		return nil, err
+	}
+	// Every format this package registers decodes to an Artifact.
+	return a.(Artifact), nil
+}

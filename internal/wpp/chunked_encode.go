@@ -193,6 +193,11 @@ func decodeChunkedBody(br *bufio.Reader) (*ChunkedWPP, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Raw varints can carry function bits no numbering produces;
+		// refuse them rather than admit unanalyzable events.
+		if err := trace.CheckEvent(trace.Event(e)); err != nil {
+			return nil, fmt.Errorf("wpp: cost table: %w", err)
+		}
 		c.costs[trace.Event(e)] = cost
 	}
 	numChunks, err := get("chunk count")
@@ -215,22 +220,19 @@ func decodeChunkedBody(br *bufio.Reader) (*ChunkedWPP, error) {
 	return c, nil
 }
 
-// DecodeAny sniffs the artifact magic and decodes either a monolithic WPP
-// ("WPP1") or a chunked WPP ("WPC1"); exactly one of the returns is
-// non-nil on success.
+// DecodeAny sniffs the artifact magic via the codec registry and decodes
+// either a monolithic WPP ("WPP1") or a chunked WPP ("WPC1"); exactly one
+// of the returns is non-nil on success.
 func DecodeAny(r io.Reader) (*WPP, *ChunkedWPP, error) {
-	br := bufio.NewReader(r)
-	var m [4]byte
-	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, nil, fmt.Errorf("wpp: reading magic: %w", err)
+	a, err := DecodeArtifact(r)
+	if err != nil {
+		return nil, nil, err
 	}
-	switch m {
-	case wppMagic:
-		w, err := decodeBody(br)
-		return w, nil, err
-	case chunkedMagic:
-		c, err := decodeChunkedBody(br)
-		return nil, c, err
+	switch t := a.(type) {
+	case *WPP:
+		return t, nil, nil
+	case *ChunkedWPP:
+		return nil, t, nil
 	}
-	return nil, nil, fmt.Errorf("wpp: bad magic %q", m[:])
+	return nil, nil, fmt.Errorf("wpp: unsupported artifact type %T", a)
 }

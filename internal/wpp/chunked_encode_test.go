@@ -56,7 +56,7 @@ func TestChunkedEncodeRoundTrip(t *testing.T) {
 
 func TestDecodeAny(t *testing.T) {
 	// Monolithic artifact through the sniffing decoder.
-	mb := NewBuilder([]string{"f"}, nil)
+	mb := NewMonoBuilder([]string{"f"}, nil)
 	for i := 0; i < 100; i++ {
 		mb.Add(trace.MakeEvent(0, uint64(i%3)))
 	}

@@ -17,10 +17,10 @@ func buildChunked(t *testing.T, src string, chunkSize uint64, args ...int64) (*C
 	}
 	var raw []trace.Event
 	var b *ChunkedBuilder
-	m, err := interp.New(p, interp.Config{Mode: interp.PathTrace, Sink: func(e trace.Event) {
+	m, err := interp.New(p, interp.Config{Mode: interp.PathTrace, Sink: trace.SinkFunc(func(e trace.Event) {
 		raw = append(raw, e)
 		b.Add(e)
-	}})
+	})})
 	if err != nil {
 		t.Fatal(err)
 	}

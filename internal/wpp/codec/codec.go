@@ -1,0 +1,116 @@
+// Package codec is the versioned artifact-format registry for whole
+// program paths. Each on-disk format is identified by a 4-byte magic
+// ("WPP1" monolithic, "WPC1" chunked, future versions as they appear)
+// and registered once, at init time, by the package that owns its
+// layout. DecodeAny sniffs the magic and dispatches to the registered
+// decoder, so tools that accept "any artifact" (wppstats, wppdiff,
+// wppbuild -verify) need no per-format knowledge and pick up new
+// versions by linking them in.
+package codec
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Artifact is the decoded form every registered format produces: enough
+// surface for generic tooling to validate and re-serialize it. Concrete
+// types (wpp.WPP, wpp.ChunkedWPP) carry the full analysis API; callers
+// needing it type-assert.
+type Artifact interface {
+	// Verify checks the artifact's internal structural consistency.
+	Verify() error
+	// Encode writes the artifact back in its canonical encoding and
+	// reports the bytes written.
+	Encode(io.Writer) (int64, error)
+}
+
+// Format describes one registered on-disk encoding.
+type Format struct {
+	// Magic is the 4-byte tag opening every artifact in this format.
+	Magic [4]byte
+	// Name is a short human-readable format name for diagnostics, e.g.
+	// "monolithic WPP (WPP1)".
+	Name string
+	// Decode reads the body following the magic. The reader is
+	// positioned immediately after the 4 magic bytes.
+	Decode func(*bufio.Reader) (Artifact, error)
+}
+
+var (
+	mu       sync.RWMutex
+	registry = map[[4]byte]Format{}
+)
+
+// Register adds a format to the registry. It panics if the magic is
+// already registered or the format has no decoder — both are wiring
+// bugs, caught at init time.
+func Register(f Format) {
+	if f.Decode == nil {
+		panic(fmt.Sprintf("codec: format %q registered without a decoder", f.Magic[:]))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if prev, dup := registry[f.Magic]; dup {
+		panic(fmt.Sprintf("codec: magic %q registered twice (%q, then %q)", f.Magic[:], prev.Name, f.Name))
+	}
+	registry[f.Magic] = f
+}
+
+// Lookup returns the format registered for the magic, if any.
+func Lookup(magic [4]byte) (Format, bool) {
+	mu.RLock()
+	defer mu.RUnlock()
+	f, ok := registry[magic]
+	return f, ok
+}
+
+// Formats lists the registered formats, sorted by magic, for
+// diagnostics and tooling that enumerates what it can read.
+func Formats() []Format {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]Format, 0, len(registry))
+	for _, f := range registry {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return string(out[i].Magic[:]) < string(out[j].Magic[:]) })
+	return out
+}
+
+// DecodeAny sniffs the 4-byte magic on r and decodes the artifact with
+// the registered format. Unknown magics — including truncated or empty
+// input — are errors naming the known formats.
+func DecodeAny(r io.Reader) (Artifact, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("codec: reading magic: %w", err)
+	}
+	f, ok := Lookup(m)
+	if !ok {
+		return nil, fmt.Errorf("codec: bad magic %q (known formats: %s)", m[:], knownNames())
+	}
+	a, err := f.Decode(br)
+	if err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func knownNames() string {
+	var s string
+	for i, f := range Formats() {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%q %s", f.Magic[:], f.Name)
+	}
+	if s == "" {
+		return "none registered"
+	}
+	return s
+}

@@ -1,0 +1,132 @@
+package codec
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// fakeArtifact is a minimal Artifact for registry tests.
+type fakeArtifact struct{ payload byte }
+
+func (f fakeArtifact) Verify() error { return nil }
+func (f fakeArtifact) Encode(w io.Writer) (int64, error) {
+	n, err := w.Write([]byte{'T', 'S', 'T', '1', f.payload})
+	return int64(n), err
+}
+
+var testFormat = Format{
+	Magic: [4]byte{'T', 'S', 'T', '1'},
+	Name:  "test format",
+	Decode: func(br *bufio.Reader) (Artifact, error) {
+		b, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		return fakeArtifact{payload: b}, nil
+	},
+}
+
+func init() { Register(testFormat) }
+
+func TestRegisterTwicePanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+		if !strings.Contains(r.(string), "registered twice") {
+			t.Fatalf("panic message %q lacks duplicate diagnosis", r)
+		}
+	}()
+	Register(testFormat)
+}
+
+func TestRegisterWithoutDecoderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Register with nil Decode did not panic")
+		}
+	}()
+	Register(Format{Magic: [4]byte{'T', 'S', 'T', '2'}, Name: "no decoder"})
+}
+
+func TestLookup(t *testing.T) {
+	f, ok := Lookup(testFormat.Magic)
+	if !ok || f.Name != testFormat.Name {
+		t.Fatalf("Lookup(%q) = %+v, %v", testFormat.Magic[:], f, ok)
+	}
+	if _, ok := Lookup([4]byte{'N', 'O', 'P', 'E'}); ok {
+		t.Fatal("Lookup found an unregistered magic")
+	}
+}
+
+func TestFormatsSortedByMagic(t *testing.T) {
+	fs := Formats()
+	if len(fs) == 0 {
+		t.Fatal("no formats registered")
+	}
+	for i := 1; i < len(fs); i++ {
+		if string(fs[i-1].Magic[:]) >= string(fs[i].Magic[:]) {
+			t.Fatalf("Formats not sorted: %q before %q", fs[i-1].Magic[:], fs[i].Magic[:])
+		}
+	}
+}
+
+func TestDecodeAnyDispatches(t *testing.T) {
+	a, err := DecodeAny(bytes.NewReader([]byte("TST1x")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.(fakeArtifact).payload; got != 'x' {
+		t.Fatalf("decoded payload %q, want %q", got, 'x')
+	}
+}
+
+func TestDecodeAnyRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty file", nil},
+		{"truncated magic", []byte("TS")},
+		{"unknown version", []byte("TST9rest")},
+		{"unknown magic", []byte("XXXXrest")},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := DecodeAny(bytes.NewReader(c.data)); err == nil {
+				t.Fatalf("DecodeAny accepted %q", c.data)
+			}
+		})
+	}
+}
+
+func TestDecodeAnyNamesKnownFormatsInError(t *testing.T) {
+	_, err := DecodeAny(bytes.NewReader([]byte("XXXX")))
+	if err == nil {
+		t.Fatal("unknown magic accepted")
+	}
+	if !strings.Contains(err.Error(), "test format") {
+		t.Fatalf("error %q does not name the known formats", err)
+	}
+}
+
+func TestRoundTripThroughRegistry(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := (fakeArtifact{payload: 'z'}).Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a, err := DecodeAny(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if a.(fakeArtifact).payload != 'z' {
+		t.Fatal("payload did not round-trip")
+	}
+}

@@ -1,0 +1,164 @@
+package wpp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/wpp/codec"
+)
+
+// encodeMono builds and encodes a small monolithic artifact.
+func encodeMonoBytes(t testing.TB) []byte {
+	t.Helper()
+	b := NewMonoBuilder([]string{"f"}, nil)
+	for i := 0; i < 120; i++ {
+		b.Add(trace.MakeEvent(0, uint64(i%4)))
+	}
+	var buf bytes.Buffer
+	if _, err := b.Finish(120).Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// encodeChunked builds and encodes a small chunked artifact.
+func encodeChunkedBytes(t testing.TB) []byte {
+	t.Helper()
+	b := NewChunkedBuilder([]string{"f"}, nil, 16)
+	for i := 0; i < 120; i++ {
+		b.Add(trace.MakeEvent(0, uint64(i%4)))
+	}
+	var buf bytes.Buffer
+	if _, err := b.Finish(120).Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCodecRegistersBothFormats checks that package init registered the
+// monolithic and chunked formats with the artifact codec.
+func TestCodecRegistersBothFormats(t *testing.T) {
+	for _, magic := range [][4]byte{{'W', 'P', 'P', '1'}, {'W', 'P', 'C', '1'}} {
+		if _, ok := codec.Lookup(magic); !ok {
+			t.Errorf("format %q not registered", magic[:])
+		}
+	}
+}
+
+// TestDecodeArtifactRoundTrip routes both on-disk formats through the
+// codec registry and checks the concrete types come back.
+func TestDecodeArtifactRoundTrip(t *testing.T) {
+	a, err := DecodeArtifact(bytes.NewReader(encodeMonoBytes(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, ok := a.(*WPP)
+	if !ok {
+		t.Fatalf("monolithic bytes decoded as %T", a)
+	}
+	if w.NumEvents() != 120 {
+		t.Fatalf("events = %d, want 120", w.NumEvents())
+	}
+
+	a, err = DecodeArtifact(bytes.NewReader(encodeChunkedBytes(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw, ok := a.(*ChunkedWPP)
+	if !ok {
+		t.Fatalf("chunked bytes decoded as %T", a)
+	}
+	if cw.NumEvents() != 120 {
+		t.Fatalf("events = %d, want 120", cw.NumEvents())
+	}
+}
+
+// TestDecodeArtifactDispatchErrors drives the registry's failure modes:
+// inputs the sniffer must reject before any format decoder runs.
+func TestDecodeArtifactDispatchErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"empty file", nil, "reading magic"},
+		{"truncated magic", []byte("WP"), "reading magic"},
+		{"unknown version", []byte("WPP9rest-of-file"), "bad magic"},
+		{"unknown chunked version", []byte("WPC9rest-of-file"), "bad magic"},
+		{"foreign magic", []byte("ELF\x7f....."), "bad magic"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := DecodeArtifact(bytes.NewReader(c.data))
+			if err == nil {
+				t.Fatalf("DecodeArtifact accepted %q", c.data)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestDecodeArtifactUnknownMagicNamesFormats checks the registry's
+// unknown-magic error lists the formats it does know, so a user holding
+// a future or corrupt artifact sees what this build can read.
+func TestDecodeArtifactUnknownMagicNamesFormats(t *testing.T) {
+	_, err := DecodeArtifact(bytes.NewReader([]byte("WPP9....")))
+	if err == nil {
+		t.Fatal("unknown version accepted")
+	}
+	for _, magic := range []string{"WPP1", "WPC1"} {
+		if !strings.Contains(err.Error(), magic) {
+			t.Errorf("error %q does not list known format %q", err, magic)
+		}
+	}
+}
+
+// TestDecodeArtifactTruncatedBody checks truncation after a valid magic
+// fails inside the selected format decoder, not with a panic.
+func TestDecodeArtifactTruncatedBody(t *testing.T) {
+	for name, data := range map[string][]byte{
+		"mono":    encodeMonoBytes(t),
+		"chunked": encodeChunkedBytes(t),
+	} {
+		t.Run(name, func(t *testing.T) {
+			for _, cut := range []int{4, 5, len(data) / 2, len(data) - 1} {
+				if _, err := DecodeArtifact(bytes.NewReader(data[:cut])); err == nil {
+					t.Errorf("truncation at %d accepted", cut)
+				}
+			}
+		})
+	}
+}
+
+// TestDecodeArtifactRejectsOutOfRangeEvent plants a cost-table entry
+// whose event carries a function ID at MaxFuncs — representable in the
+// wire uvarint but not constructible through MakeEvent — and checks the
+// event validation on the decode path rejects the artifact.
+func TestDecodeArtifactRejectsOutOfRangeEvent(t *testing.T) {
+	bad := trace.Event(uint64(trace.MaxFuncs) << trace.PathBits)
+	if err := trace.CheckEvent(bad); err == nil {
+		t.Fatal("sanity: crafted event unexpectedly valid")
+	}
+
+	b := NewMonoBuilder([]string{"f"}, nil)
+	for i := 0; i < 20; i++ {
+		b.Add(trace.MakeEvent(0, uint64(i%3)))
+	}
+	w := b.Finish(20)
+	w.costs[bad] = 1
+	var buf bytes.Buffer
+	if _, err := w.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, err := DecodeArtifact(&buf)
+	if err == nil {
+		t.Fatal("artifact with out-of-range cost-table event accepted")
+	}
+	if !strings.Contains(err.Error(), "cost table") {
+		t.Fatalf("error %q does not blame the cost table", err)
+	}
+}

@@ -136,11 +136,58 @@ func FuzzDecodeChunked(f *testing.F) {
 	})
 }
 
+// FuzzDecodeAny asserts the codec-registry sniffer never panics on
+// arbitrary bytes and that whichever format decoder it dispatches to
+// yields an artifact that is safe to verify and walk. Seeds cover both
+// registered formats, bare magics, the empty file, and truncations.
+func FuzzDecodeAny(f *testing.F) {
+	mb := NewMonoBuilder([]string{"f"}, nil)
+	cb := NewChunkedBuilder([]string{"f"}, nil, 16)
+	for i := 0; i < 200; i++ {
+		e := trace.MakeEvent(0, uint64(i%5))
+		mb.Add(e)
+		cb.Add(e)
+	}
+	var mono, chunked bytes.Buffer
+	if _, err := mb.Finish(200).Encode(&mono); err != nil {
+		f.Fatal(err)
+	}
+	if _, err := cb.Finish(200).Encode(&chunked); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(mono.Bytes())
+	f.Add(chunked.Bytes())
+	f.Add([]byte("WPP1"))
+	f.Add([]byte("WPC1"))
+	f.Add([]byte("WPP9")) // unknown version
+	f.Add([]byte{})
+	f.Add(mono.Bytes()[:mono.Len()/2])       // truncated monolithic
+	f.Add(chunked.Bytes()[:chunked.Len()/2]) // truncated chunked
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := DecodeArtifact(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := a.Verify(); err != nil {
+			return
+		}
+		n := 0
+		var walked []trace.Event
+		a.Walk(func(e trace.Event) bool {
+			walked = append(walked, e)
+			n++
+			return n < 100000
+		})
+		checkLiveGrammar(t, walked)
+	})
+}
+
 // FuzzDecode asserts the .wpp decoder never panics on arbitrary bytes,
 // and that valid artifacts survive a decode/verify round trip.
 func FuzzDecode(f *testing.F) {
 	// Seed with a real artifact.
-	b := NewBuilder([]string{"f"}, nil)
+	b := NewMonoBuilder([]string{"f"}, nil)
 	for i := 0; i < 200; i++ {
 		b.Add(trace.MakeEvent(0, uint64(i%5)))
 	}

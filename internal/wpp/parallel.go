@@ -222,6 +222,9 @@ func (b *ParallelChunkedBuilder) Add(e trace.Event) {
 	}
 }
 
+// Events reports the number of events consumed so far.
+func (b *ParallelChunkedBuilder) Events() uint64 { return b.events }
+
 // seal hands the full buffer to the pool. The send blocks when all
 // workers are busy and the queue is full — the backpressure bound.
 func (b *ParallelChunkedBuilder) seal() {

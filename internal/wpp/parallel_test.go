@@ -36,9 +36,9 @@ func eventsFor(t testing.TB, name string) ([]trace.Event, uint64) {
 		t.Fatal(err)
 	}
 	var events []trace.Event
-	m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: func(e trace.Event) {
+	m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: trace.SinkFunc(func(e trace.Event) {
 		events = append(events, e)
-	}})
+	})})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,10 +150,10 @@ func TestParallelCostsMatchSequential(t *testing.T) {
 	}
 	var seqB *ChunkedBuilder
 	var parB *ParallelChunkedBuilder
-	m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: func(e trace.Event) {
+	m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: trace.SinkFunc(func(e trace.Event) {
 		seqB.Add(e)
 		parB.Add(e)
-	}})
+	})})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,7 +11,7 @@ import (
 // buildVerifyWPP compresses a synthetic event stream with the monolithic
 // builder.
 func buildVerifyWPP(events []trace.Event) *WPP {
-	b := NewBuilder([]string{"f0", "f1"}, nil)
+	b := NewMonoBuilder([]string{"f0", "f1"}, nil)
 	for _, e := range events {
 		b.Add(e)
 	}

@@ -46,9 +46,9 @@ type WPP struct {
 	idx *index
 }
 
-// Builder accumulates a WPP online. Its Add method is an interp.Config
+// MonoBuilder accumulates a WPP online. Its Add method is an interp.Config
 // Sink.
-type Builder struct {
+type MonoBuilder struct {
 	grammar *sequitur.Grammar
 	funcs   []FuncInfo
 	nums    []*bl.Numbering
@@ -59,16 +59,16 @@ type Builder struct {
 
 // SetMetrics installs observability hooks (see BuildMetrics); nil
 // disables instrumentation. Call before feeding events.
-func (b *Builder) SetMetrics(m *BuildMetrics) {
+func (b *MonoBuilder) SetMetrics(m *BuildMetrics) {
 	b.metrics = m.orNoop()
 	b.grammar.SetMetrics(b.metrics.Grammar)
 }
 
-// NewBuilder returns a builder for a program whose functions have the
+// NewMonoBuilder returns a builder for a program whose functions have the
 // given Ball–Larus numberings (indexed by function ID, as produced by
 // interp.Machine.Numberings). Numberings supply per-path instruction
 // costs; a nil slice makes every path cost 1.
-func NewBuilder(names []string, nums []*bl.Numbering) *Builder {
+func NewMonoBuilder(names []string, nums []*bl.Numbering) *MonoBuilder {
 	funcs := make([]FuncInfo, len(names))
 	for i, n := range names {
 		funcs[i] = FuncInfo{Name: n}
@@ -76,7 +76,7 @@ func NewBuilder(names []string, nums []*bl.Numbering) *Builder {
 			funcs[i].NumPaths = nums[i].NumPaths
 		}
 	}
-	return &Builder{
+	return &MonoBuilder{
 		grammar: sequitur.New(),
 		funcs:   funcs,
 		nums:    nums,
@@ -85,7 +85,7 @@ func NewBuilder(names []string, nums []*bl.Numbering) *Builder {
 }
 
 // Add feeds one path event to the grammar.
-func (b *Builder) Add(e trace.Event) {
+func (b *MonoBuilder) Add(e trace.Event) {
 	b.grammar.Append(uint64(e))
 	b.events++
 	b.metrics.EventsIngested.Inc()
@@ -105,15 +105,15 @@ func (b *Builder) Add(e trace.Event) {
 }
 
 // Events reports the number of events consumed so far.
-func (b *Builder) Events() uint64 { return b.events }
+func (b *MonoBuilder) Events() uint64 { return b.events }
 
 // GrammarStats exposes the live grammar size, for growth-curve
 // experiments that sample the builder mid-stream.
-func (b *Builder) GrammarStats() sequitur.Stats { return b.grammar.Stats() }
+func (b *MonoBuilder) GrammarStats() sequitur.Stats { return b.grammar.Stats() }
 
 // Finish seals the WPP. instructions is the total executed instruction
 // count (interp.Stats.Instructions).
-func (b *Builder) Finish(instructions uint64) *WPP {
+func (b *MonoBuilder) Finish(instructions uint64) *WPP {
 	return &WPP{
 		Funcs:        b.funcs,
 		Grammar:      b.grammar.Snapshot(),
@@ -400,6 +400,11 @@ func decodeBody(br *bufio.Reader) (*WPP, error) {
 		c, err := get("cost value")
 		if err != nil {
 			return nil, err
+		}
+		// Raw varints can carry function bits no numbering produces;
+		// refuse them rather than admit unanalyzable events.
+		if err := trace.CheckEvent(trace.Event(e)); err != nil {
+			return nil, fmt.Errorf("wpp: cost table: %w", err)
 		}
 		w.costs[trace.Event(e)] = c
 	}

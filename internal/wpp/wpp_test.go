@@ -35,11 +35,11 @@ func buildWPP(t *testing.T, src string, args ...int64) (*WPP, []trace.Event) {
 		t.Fatal(err)
 	}
 	var raw []trace.Event
-	var b *Builder
-	m, err := interp.New(p, interp.Config{Mode: interp.PathTrace, Sink: func(e trace.Event) {
+	var b *MonoBuilder
+	m, err := interp.New(p, interp.Config{Mode: interp.PathTrace, Sink: trace.SinkFunc(func(e trace.Event) {
 		raw = append(raw, e)
 		b.Add(e)
-	}})
+	})})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +47,7 @@ func buildWPP(t *testing.T, src string, args ...int64) (*WPP, []trace.Event) {
 	for i, f := range p.Funcs {
 		names[i] = f.Name
 	}
-	b = NewBuilder(names, m.Numberings())
+	b = NewMonoBuilder(names, m.Numberings())
 	if _, err := m.Run("main", args...); err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +186,7 @@ func TestVerifyCatchesTruncatedEvents(t *testing.T) {
 }
 
 func TestBuilderWithoutNumberings(t *testing.T) {
-	b := NewBuilder([]string{"f"}, nil)
+	b := NewMonoBuilder([]string{"f"}, nil)
 	for i := 0; i < 10; i++ {
 		b.Add(trace.MakeEvent(0, uint64(i%3)))
 	}
@@ -200,7 +200,7 @@ func TestBuilderWithoutNumberings(t *testing.T) {
 }
 
 func TestGrowthSampling(t *testing.T) {
-	b := NewBuilder([]string{"f"}, nil)
+	b := NewMonoBuilder([]string{"f"}, nil)
 	var prevRules int
 	for i := 0; i < 5000; i++ {
 		b.Add(trace.MakeEvent(0, uint64(i%7)))
@@ -222,7 +222,7 @@ func TestGrowthSampling(t *testing.T) {
 }
 
 func TestEmptyWPP(t *testing.T) {
-	b := NewBuilder(nil, nil)
+	b := NewMonoBuilder(nil, nil)
 	w := b.Finish(0)
 	if err := w.Verify(); err != nil {
 		t.Fatal(err)

@@ -4,11 +4,9 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"time"
 
 	"repro/internal/bl"
 	"repro/internal/hotpath"
-	"repro/internal/interp"
 	"repro/internal/trace"
 	iwpp "repro/internal/wpp"
 )
@@ -64,34 +62,18 @@ func (p *Program) ProfileChunked(args []int64, copts ChunkedOptions, opts ...Run
 	for _, o := range opts {
 		o(&rc)
 	}
-	var b *iwpp.ParallelChunkedBuilder
-	m, err := interp.New(p.prog, interp.Config{
-		Mode:      interp.PathTrace,
-		Sink:      func(e trace.Event) { b.Add(e) },
-		Stdout:    rc.stdout,
-		MaxInstrs: rc.maxInstrs,
-	})
+	art, rep, res, stats, nums, err := p.profileWith(args, iwpp.BuildOptions{ChunkSize: copts.ChunkSize, Workers: copts.Workers}, rc)
 	if err != nil {
 		return nil, err
 	}
-	b = iwpp.NewParallelChunkedBuilder(p.names, m.Numberings(), copts.ChunkSize, iwpp.ParallelOptions{Workers: copts.Workers})
-	start := time.Now()
-	res, err := m.Run("main", args...)
-	if err != nil {
-		// Drain the pipeline so worker goroutines do not leak.
-		b.Finish(0)
-		return nil, err
-	}
-	cw := b.Finish(m.Stats().Instructions)
-	rep := b.Report()
 	return &ChunkedProfile{
 		Result:  res,
-		Stats:   runStats(m.Stats(), time.Since(start)),
-		cw:      cw,
+		Stats:   stats,
+		cw:      art.(*iwpp.ChunkedWPP),
 		names:   p.names,
-		nums:    m.Numberings(),
+		nums:    nums,
 		workers: copts.Workers,
-		report:  &rep,
+		report:  rep,
 	}, nil
 }
 

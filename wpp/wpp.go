@@ -145,6 +145,35 @@ type Profile struct {
 	prog  *wlc.Program
 }
 
+// profileWith runs main(args...) under path tracing, streaming events
+// through the interpreter's Sink into the builder iwpp.New selects for
+// bopts, and seals the artifact. It is the single traced-execution path
+// behind Profile and ProfileChunked.
+func (p *Program) profileWith(args []int64, bopts iwpp.BuildOptions, rc runConfig) (iwpp.Artifact, *iwpp.BuildReport, int64, RunStats, []*bl.Numbering, error) {
+	// The builder needs the machine's numberings, so it is constructed
+	// after the machine; the SinkFunc closure late-binds it.
+	var b iwpp.Builder
+	m, err := interp.New(p.prog, interp.Config{
+		Mode:      interp.PathTrace,
+		Sink:      trace.SinkFunc(func(e trace.Event) { b.Add(e) }),
+		Stdout:    rc.stdout,
+		MaxInstrs: rc.maxInstrs,
+	})
+	if err != nil {
+		return nil, nil, 0, RunStats{}, nil, err
+	}
+	b = iwpp.New(p.names, m.Numberings(), bopts)
+	start := time.Now()
+	res, err := m.Run("main", args...)
+	if err != nil {
+		// Drain the pipeline so worker goroutines do not leak.
+		b.Finish(0)
+		return nil, nil, 0, RunStats{}, nil, err
+	}
+	art := b.Finish(m.Stats().Instructions)
+	return art, b.Report(), res, runStats(m.Stats(), time.Since(start)), m.Numberings(), nil
+}
+
 // Profile runs main(args...) under path tracing, compressing the event
 // stream online into a whole program path.
 func (p *Program) Profile(args []int64, opts ...RunOption) (*Profile, error) {
@@ -152,28 +181,15 @@ func (p *Program) Profile(args []int64, opts ...RunOption) (*Profile, error) {
 	for _, o := range opts {
 		o(&rc)
 	}
-	var b *iwpp.Builder
-	m, err := interp.New(p.prog, interp.Config{
-		Mode:      interp.PathTrace,
-		Sink:      func(e trace.Event) { b.Add(e) },
-		Stdout:    rc.stdout,
-		MaxInstrs: rc.maxInstrs,
-	})
+	art, _, res, stats, nums, err := p.profileWith(args, iwpp.BuildOptions{}, rc)
 	if err != nil {
 		return nil, err
 	}
-	b = iwpp.NewBuilder(p.names, m.Numberings())
-	start := time.Now()
-	res, err := m.Run("main", args...)
-	if err != nil {
-		return nil, err
-	}
-	w := b.Finish(m.Stats().Instructions)
 	return &Profile{
 		Result: res,
-		Stats:  runStats(m.Stats(), time.Since(start)),
-		wpp:    w,
-		nums:   m.Numberings(),
+		Stats:  stats,
+		wpp:    art.(*iwpp.WPP),
+		nums:   nums,
 		names:  p.names,
 		prog:   p.prog,
 	}, nil
