@@ -7,6 +7,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +25,7 @@ func main() {
 	verify := flag.Bool("verify", false, "deep-verify every workload's artifacts (monolithic and chunked) before running experiments")
 	reps := flag.Int("reps", 3, "repetitions for timing experiments (best-of)")
 	workers := flag.Int("workers", 0, "worker count for the p1 parallel-scaling experiment (0 = all cores)")
+	seqbench := flag.String("seqbench", "", "measure raw SEQUITUR throughput and write the trajectory JSON to this file (e.g. BENCH_sequitur.json); if the file already holds a previous run, print a benchstat-style comparison before overwriting")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :6060)")
 	progress := flag.Duration("progress", 0, "emit a progress line to stderr at this interval (e.g. 1s)")
 	flag.Parse()
@@ -122,6 +124,43 @@ func main() {
 		_, tbl, err := experiments.P1(scale, []string{"compress", "expr", "sim", "sort"}, 4096, *workers, *reps)
 		show(tbl, err)
 	}
+	if *seqbench != "" {
+		if err := runSeqBench(*seqbench, scale, *reps); err != nil {
+			fatal(err)
+		}
+		expDone.Inc()
+	}
+}
+
+// runSeqBench records a compressor-throughput trajectory point: measure
+// every workload, diff against the previous point if the file holds one,
+// then overwrite the file so the next PR diffs against this run.
+func runSeqBench(path string, scale experiments.Scale, reps int) error {
+	var old *experiments.SeqBenchResult
+	if raw, err := os.ReadFile(path); err == nil {
+		old = &experiments.SeqBenchResult{}
+		if err := json.Unmarshal(raw, old); err != nil {
+			return fmt.Errorf("previous trajectory %s is not valid JSON (delete it to start fresh): %w", path, err)
+		}
+		if old.Schema != experiments.SeqBenchSchema {
+			return fmt.Errorf("previous trajectory %s has schema %q, want %q (delete it to start fresh)", path, old.Schema, experiments.SeqBenchSchema)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	res, tbl, err := experiments.SeqBench(scale, workloads.Names(), 4096, reps)
+	if err != nil {
+		return err
+	}
+	fmt.Println(tbl.String())
+	if old != nil {
+		fmt.Println(experiments.CompareSeqBench(old, res).String())
+	}
+	raw, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
 }
 
 func fatal(err error) {

@@ -1,0 +1,28 @@
+// Fixture: arena-shaped structs — dense uint32 handle cursors in front
+// of 64-bit atomic counters, the layout the sequitur slab arena uses.
+// An odd number of 4-byte handle fields before the counter misaligns it
+// on 386; pairing the handles (or leading with the counter) fixes it.
+package a
+
+import "sync/atomic"
+
+type arenaStats struct {
+	used    uint32
+	free    uint32
+	appends uint64 // offset 8: handle pair keeps it aligned
+}
+
+type skewedArena struct {
+	used    uint32
+	appends uint64 // offset 4 on 386: misaligned
+	free    uint32
+}
+
+func bumpArena(a *arenaStats, s *skewedArena) {
+	atomic.AddUint64(&a.appends, 1)
+	atomic.AddUint64(&s.appends, 1) // want `AddUint64 on field appends at 32-bit offset 4`
+}
+
+func drainArena(s *skewedArena) uint64 {
+	return atomic.LoadUint64(&s.appends) // want `LoadUint64 on field appends at 32-bit offset 4`
+}

@@ -1,0 +1,31 @@
+// Fixture: pooled-grammar shapes — an object pool that carries a mutex
+// (the parallel builder circulates reset grammars this way) must move by
+// pointer; a value copy forks the lock and the pool's free list.
+package a
+
+import "sync"
+
+type grammarPool struct {
+	mu   sync.Mutex
+	free []int
+}
+
+func poolGet(p grammarPool) int { // want `by-value parameter copies lock: field mu: sync\.Mutex`
+	return p.free[0]
+}
+
+func (p grammarPool) Len() int { // want `by-value receiver copies lock`
+	return len(p.free)
+}
+
+func poolPut(p *grammarPool, h int) { // pointer: ok
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.free = append(p.free, h)
+}
+
+func forkPool() {
+	var p grammarPool
+	q := p // want `assignment copies lock value: field mu: sync\.Mutex`
+	poolPut(&q, 1)
+}

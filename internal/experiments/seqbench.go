@@ -1,0 +1,245 @@
+package experiments
+
+// SeqBench is the compressor's performance trajectory: a machine-readable
+// measurement of raw SEQUITUR Append throughput and allocation rate on
+// the bundled workloads' real event streams, in both construction
+// regimes (one monolithic grammar; pooled per-chunk grammars reset
+// between chunks). cmd/wppbench serializes the result to
+// BENCH_sequitur.json so successive PRs can diff compressor performance
+// instead of re-deriving it from prose, and renders a benchstat-style
+// old/new comparison when a previous trajectory file exists.
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/sequitur"
+	"repro/internal/workloads"
+)
+
+// SeqBenchMeasure is one regime's measurement on one workload.
+type SeqBenchMeasure struct {
+	// EventsPerSec is the best-of-reps Append throughput. For the
+	// chunked regime the timed loop includes the per-chunk Reset and
+	// Snapshot, the real per-chunk pipeline cost.
+	EventsPerSec float64 `json:"events_per_sec"`
+	// AllocBytesPerEvent is heap bytes allocated per appended event,
+	// measured on a steady-state run (for the chunked regime the pooled
+	// grammar is already warm, so this is dominated by snapshots).
+	AllocBytesPerEvent float64 `json:"alloc_bytes_per_event"`
+	// Rules and RHSSymbols are the grammar size the regime produced
+	// (summed over chunk grammars for the chunked regime).
+	Rules      int `json:"rules"`
+	RHSSymbols int `json:"rhs_symbols"`
+	// Chunks is the number of chunk grammars (1 for monolithic).
+	Chunks int `json:"chunks"`
+}
+
+// SeqBenchRow is one workload's measurements.
+type SeqBenchRow struct {
+	Name    string          `json:"name"`
+	Events  uint64          `json:"events"`
+	Mono    SeqBenchMeasure `json:"mono"`
+	Chunked SeqBenchMeasure `json:"chunked"`
+}
+
+// SeqBenchResult is the serialized trajectory point.
+type SeqBenchResult struct {
+	Schema    string        `json:"schema"`
+	Scale     string        `json:"scale"`
+	ChunkSize uint64        `json:"chunk_size"`
+	Reps      int           `json:"reps"`
+	Go        string        `json:"go"`
+	Workloads []SeqBenchRow `json:"workloads"`
+}
+
+// SeqBenchSchema identifies the trajectory file format.
+const SeqBenchSchema = "wpp/seqbench/v1"
+
+// allocDelta runs f and returns the heap bytes it allocated.
+func allocDelta(f func()) uint64 {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	f()
+	runtime.ReadMemStats(&after)
+	return after.TotalAlloc - before.TotalAlloc
+}
+
+// bestOf times f reps times and returns the fastest run.
+func bestOf(reps int, f func()) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		f()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// SeqBench measures compressor throughput on the named workloads at the
+// given scale. chunkSize shapes the pooled regime; reps is best-of.
+func SeqBench(scale Scale, names []string, chunkSize uint64, reps int) (*SeqBenchResult, *Table, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	res := &SeqBenchResult{
+		Schema:    SeqBenchSchema,
+		Scale:     scale.String(),
+		ChunkSize: chunkSize,
+		Reps:      reps,
+		Go:        runtime.Version(),
+	}
+	for _, name := range names {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		art, err := runTraced(w, scale)
+		if err != nil {
+			return nil, nil, err
+		}
+		stream := make([]uint64, len(art.events))
+		for i, e := range art.events {
+			stream[i] = uint64(e)
+		}
+		row := SeqBenchRow{Name: name, Events: uint64(len(stream))}
+		if len(stream) == 0 {
+			res.Workloads = append(res.Workloads, row)
+			continue
+		}
+
+		// Monolithic: one fresh grammar consumes the whole stream. The
+		// alloc measurement uses its own run so slab/table growth is
+		// charged honestly to the regime that pays it.
+		var g *sequitur.Grammar
+		mono := bestOf(reps, func() {
+			g = sequitur.New()
+			for _, v := range stream {
+				g.Append(v)
+			}
+		})
+		st := g.Stats()
+		row.Mono = SeqBenchMeasure{
+			EventsPerSec: float64(len(stream)) / mono.Seconds(),
+			AllocBytesPerEvent: float64(allocDelta(func() {
+				f := sequitur.New()
+				for _, v := range stream {
+					f.Append(v)
+				}
+			})) / float64(len(stream)),
+			Rules:      st.Rules,
+			RHSSymbols: st.RHSSymbols,
+			Chunks:     1,
+		}
+
+		// Chunked: one pooled grammar, Reset per chunk, Snapshot per
+		// chunk — the parallel builder's per-worker steady state. The
+		// first full pass warms the arena; timing and allocation are
+		// then measured warm.
+		pooled := sequitur.New()
+		var snaps []*sequitur.Snapshot
+		pass := func() {
+			snaps = snaps[:0]
+			for lo := 0; lo < len(stream); lo += int(chunkSize) {
+				hi := min(lo+int(chunkSize), len(stream))
+				pooled.Reset()
+				for _, v := range stream[lo:hi] {
+					pooled.Append(v)
+				}
+				snaps = append(snaps, pooled.Snapshot())
+			}
+		}
+		pass() // warm the slabs and table to the largest chunk's working set
+		chunked := bestOf(reps, pass)
+		chunkedAlloc := allocDelta(pass)
+		cm := SeqBenchMeasure{
+			EventsPerSec:       float64(len(stream)) / chunked.Seconds(),
+			AllocBytesPerEvent: float64(chunkedAlloc) / float64(len(stream)),
+			Chunks:             len(snaps),
+		}
+		for _, sn := range snaps {
+			cm.Rules += len(sn.Rules)
+			for _, rhs := range sn.Rules {
+				cm.RHSSymbols += len(rhs)
+			}
+		}
+		row.Chunked = cm
+		res.Workloads = append(res.Workloads, row)
+	}
+	return res, res.Table(), nil
+}
+
+// Table renders the trajectory point for humans.
+func (r *SeqBenchResult) Table() *Table {
+	tbl := &Table{
+		ID:     "S1",
+		Title:  fmt.Sprintf("SEQUITUR compressor throughput (scale=%s, chunk=%d, best of %d)", r.Scale, r.ChunkSize, r.Reps),
+		Header: []string{"workload", "events", "mono Mev/s", "mono B/ev", "chunk Mev/s", "chunk B/ev", "mono rules", "chunk rules"},
+		Notes: []string{
+			"chunked regime times Reset+Append+Snapshot per chunk on one pooled grammar (warm arena)",
+			"B/ev is heap bytes allocated per event; mono includes first-touch arena growth",
+		},
+	}
+	for _, w := range r.Workloads {
+		tbl.Rows = append(tbl.Rows, []string{
+			w.Name,
+			fmt.Sprintf("%d", w.Events),
+			fmt.Sprintf("%.2f", w.Mono.EventsPerSec/1e6),
+			fmt.Sprintf("%.1f", w.Mono.AllocBytesPerEvent),
+			fmt.Sprintf("%.2f", w.Chunked.EventsPerSec/1e6),
+			fmt.Sprintf("%.1f", w.Chunked.AllocBytesPerEvent),
+			fmt.Sprintf("%d", w.Mono.Rules),
+			fmt.Sprintf("%d", w.Chunked.Rules),
+		})
+	}
+	return tbl
+}
+
+// CompareSeqBench renders a benchstat-style old-vs-new table from two
+// trajectory points, matched by workload name. Workloads present on only
+// one side are skipped; a nil old yields an empty comparison.
+func CompareSeqBench(old, cur *SeqBenchResult) *Table {
+	tbl := &Table{
+		ID:     "S1Δ",
+		Title:  "SEQUITUR throughput vs previous trajectory (events/sec, higher is better)",
+		Header: []string{"workload", "mono old", "mono new", "delta", "chunk old", "chunk new", "delta"},
+	}
+	if old == nil {
+		tbl.Notes = append(tbl.Notes, "no previous trajectory file; baseline recorded")
+		return tbl
+	}
+	if old.Scale != cur.Scale || old.ChunkSize != cur.ChunkSize {
+		tbl.Notes = append(tbl.Notes,
+			fmt.Sprintf("configs differ (old scale=%s chunk=%d, new scale=%s chunk=%d); deltas are indicative only",
+				old.Scale, old.ChunkSize, cur.Scale, cur.ChunkSize))
+	}
+	prev := map[string]SeqBenchRow{}
+	for _, w := range old.Workloads {
+		prev[w.Name] = w
+	}
+	delta := func(o, n float64) string {
+		if o <= 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%+.1f%%", 100*(n-o)/o)
+	}
+	for _, w := range cur.Workloads {
+		p, ok := prev[w.Name]
+		if !ok {
+			continue
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			w.Name,
+			fmt.Sprintf("%.2fM", p.Mono.EventsPerSec/1e6),
+			fmt.Sprintf("%.2fM", w.Mono.EventsPerSec/1e6),
+			delta(p.Mono.EventsPerSec, w.Mono.EventsPerSec),
+			fmt.Sprintf("%.2fM", p.Chunked.EventsPerSec/1e6),
+			fmt.Sprintf("%.2fM", w.Chunked.EventsPerSec/1e6),
+			delta(p.Chunked.EventsPerSec, w.Chunked.EventsPerSec),
+		})
+	}
+	return tbl
+}

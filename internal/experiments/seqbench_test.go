@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSeqBenchSmall(t *testing.T) {
+	res, tbl, err := SeqBench(Small, []string{"compress", "sort"}, 512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema != SeqBenchSchema {
+		t.Fatalf("schema = %q, want %q", res.Schema, SeqBenchSchema)
+	}
+	if res.Scale != "small" || res.ChunkSize != 512 {
+		t.Fatalf("config not recorded: scale=%q chunk=%d", res.Scale, res.ChunkSize)
+	}
+	if len(res.Workloads) != 2 {
+		t.Fatalf("got %d workload rows, want 2", len(res.Workloads))
+	}
+	for _, w := range res.Workloads {
+		if w.Events == 0 {
+			t.Errorf("%s: zero events traced", w.Name)
+		}
+		if w.Mono.EventsPerSec <= 0 || w.Chunked.EventsPerSec <= 0 {
+			t.Errorf("%s: non-positive throughput: mono %v, chunked %v", w.Name, w.Mono.EventsPerSec, w.Chunked.EventsPerSec)
+		}
+		if w.Mono.Rules <= 0 || w.Mono.RHSSymbols <= 0 {
+			t.Errorf("%s: empty monolithic grammar: %+v", w.Name, w.Mono)
+		}
+		if w.Mono.Chunks != 1 {
+			t.Errorf("%s: mono chunks = %d, want 1", w.Name, w.Mono.Chunks)
+		}
+		wantChunks := int((w.Events + 511) / 512)
+		if w.Chunked.Chunks != wantChunks {
+			t.Errorf("%s: chunked into %d grammars, want %d for %d events", w.Name, w.Chunked.Chunks, wantChunks, w.Events)
+		}
+		// Chunking forfeits cross-chunk repetition, so the summed chunk
+		// grammars can only be at least as large as the monolithic one.
+		if w.Chunked.RHSSymbols < w.Mono.RHSSymbols {
+			t.Errorf("%s: chunked rhs %d < mono rhs %d", w.Name, w.Chunked.RHSSymbols, w.Mono.RHSSymbols)
+		}
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("table has %d rows, want 2", len(tbl.Rows))
+	}
+}
+
+func TestSeqBenchJSONRoundTrip(t *testing.T) {
+	res, _, err := SeqBench(Small, []string{"sort"}, 1024, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SeqBenchResult
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != res.Schema || len(back.Workloads) != len(res.Workloads) {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back.Workloads[0].Mono.EventsPerSec != res.Workloads[0].Mono.EventsPerSec {
+		t.Fatalf("throughput changed across round trip")
+	}
+}
+
+func TestCompareSeqBench(t *testing.T) {
+	old := &SeqBenchResult{
+		Schema: SeqBenchSchema, Scale: "small", ChunkSize: 512,
+		Workloads: []SeqBenchRow{
+			{Name: "sort", Mono: SeqBenchMeasure{EventsPerSec: 1e6}, Chunked: SeqBenchMeasure{EventsPerSec: 2e6}},
+			{Name: "gone", Mono: SeqBenchMeasure{EventsPerSec: 1e6}},
+		},
+	}
+	cur := &SeqBenchResult{
+		Schema: SeqBenchSchema, Scale: "small", ChunkSize: 512,
+		Workloads: []SeqBenchRow{
+			{Name: "sort", Mono: SeqBenchMeasure{EventsPerSec: 2e6}, Chunked: SeqBenchMeasure{EventsPerSec: 3e6}},
+			{Name: "new", Mono: SeqBenchMeasure{EventsPerSec: 1e6}},
+		},
+	}
+	tbl := CompareSeqBench(old, cur)
+	if len(tbl.Rows) != 1 {
+		t.Fatalf("comparison has %d rows, want 1 (only workloads on both sides)", len(tbl.Rows))
+	}
+	row := strings.Join(tbl.Rows[0], " ")
+	if !strings.Contains(row, "+100.0%") || !strings.Contains(row, "+50.0%") {
+		t.Fatalf("deltas wrong: %q", row)
+	}
+	if tbl = CompareSeqBench(nil, cur); len(tbl.Rows) != 0 {
+		t.Fatalf("nil baseline must yield an empty comparison, got %d rows", len(tbl.Rows))
+	}
+	// A config mismatch is flagged, not hidden.
+	old.ChunkSize = 4096
+	if tbl = CompareSeqBench(old, cur); len(tbl.Notes) == 0 || !strings.Contains(tbl.Notes[0], "configs differ") {
+		t.Fatalf("config mismatch not flagged: %v", tbl.Notes)
+	}
+}

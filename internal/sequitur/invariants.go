@@ -11,25 +11,26 @@ package sequitur
 // substitution and rule expansion legitimately leaves a few of these, so
 // tests bound the count rather than demanding zero.
 func (g *Grammar) UnindexedDigrams() int {
-	seen := map[*rule]bool{g.start: true}
-	queue := []*rule{g.start}
+	seen := map[ruleRef]bool{g.start: true}
+	queue := []ruleRef{g.start}
 	chain := map[digram]bool{}
 	for len(queue) > 0 {
 		r := queue[0]
 		queue = queue[1:]
 		prevOverlap := false
-		for s := r.first(); !s.guard; s = s.next {
+		for h := g.firstOf(r); !g.sym(h).guard; h = g.sym(h).next {
+			s := g.sym(h)
 			if s.isNonterminal() && !seen[s.rule] {
 				seen[s.rule] = true
 				queue = append(queue, s.rule)
 			}
-			if s.next.guard {
+			if g.sym(s.next).guard {
 				continue
 			}
-			d := digramOf(s)
+			d := g.digramAt(h)
 			// Skip the second of two overlapping occurrences (aaa); the
 			// index never holds those.
-			if !s.prev.guard && symKey(s.prev) == d.a && d.a == d.b && !prevOverlap {
+			if !g.sym(s.prev).guard && g.keyOf(s.prev) == d.a && d.a == d.b && !prevOverlap {
 				prevOverlap = true
 				continue
 			}
@@ -39,7 +40,7 @@ func (g *Grammar) UnindexedDigrams() int {
 	}
 	missing := 0
 	for d := range chain {
-		if _, ok := g.index[d]; !ok {
+		if g.table.get(d.a, d.b) == nilSym {
 			missing++
 		}
 	}

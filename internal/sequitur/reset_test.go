@@ -25,7 +25,7 @@ func feedRepetitive(g *Grammar, rounds int) {
 func TestResetClearsAllState(t *testing.T) {
 	g := New()
 	feedRepetitive(g, 8)
-	if len(g.index) == 0 {
+	if g.table.live == 0 {
 		t.Fatal("digram table empty after repetitive input; test input is too weak")
 	}
 	if g.nextID == 1 {
@@ -38,8 +38,11 @@ func TestResetClearsAllState(t *testing.T) {
 
 	g.Reset()
 
-	if got := len(g.index); got != 0 {
+	if got := g.table.live; got != 0 {
 		t.Errorf("digram table has %d entries after Reset, want 0", got)
+	}
+	if cap(g.table.entries) < minTableCap {
+		t.Errorf("digram table lost its capacity across Reset")
 	}
 	if g.nextID != 1 {
 		t.Errorf("nextID = %d after Reset, want 1", g.nextID)
@@ -61,8 +64,15 @@ func TestResetClearsAllState(t *testing.T) {
 	}
 	// The start rule must be replaced, not merely truncated: symbols of
 	// the old derivation must not leak into the new one.
-	if s := g.start.first(); !s.guard {
+	if s := g.sym(g.firstOf(g.start)); !s.guard {
 		t.Errorf("start rule still has RHS symbols after Reset (first = %+v)", s)
+	}
+	// The arenas must be rewound, not released: Reset keeps the slabs.
+	if g.symUsed != 1+1 { // nil sentinel skipped, one guard for the new start rule
+		t.Errorf("symbol arena cursor = %d after Reset, want 2", g.symUsed)
+	}
+	if len(g.slabs) == 0 {
+		t.Error("symbol slabs released by Reset; they must be retained for reuse")
 	}
 }
 

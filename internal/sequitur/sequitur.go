@@ -16,6 +16,14 @@
 // input, which is what lets whole-program-path analyses (such as the hot
 // subpath search in package hotpath) run directly on the compressed form.
 //
+// Every trace event of a build funnels through Append, so the data layout
+// is built for the allocator to stay out of the way: symbols live in slab
+// arenas addressed by dense uint32 handles (arena.go) and the digram
+// index is an open-addressing hash table (digrams.go). Steady-state
+// Append allocates nothing, and Reset rewinds a grammar for reuse while
+// keeping slabs and table capacity — the contract the pooled per-worker
+// grammars in the parallel builder rely on.
+//
 // Terminal values must be below MaxTerminal; the trace-event encoding in
 // package trace stays far below that bound.
 package sequitur
@@ -31,39 +39,6 @@ import (
 // digram index.
 const MaxTerminal = uint64(1) << 62
 
-// symbol is a node in a doubly linked rule body. A rule body is circular
-// around a guard node: guard.next is the first symbol, guard.prev the
-// last. For a terminal, rule is nil and value holds the terminal. For a
-// nonterminal, rule points at the referenced rule. For a guard, guard is
-// true and rule points back at the owning rule.
-type symbol struct {
-	next, prev *symbol
-	value      uint64
-	rule       *rule
-	guard      bool
-}
-
-func (s *symbol) isNonterminal() bool { return !s.guard && s.rule != nil }
-
-// rule is a grammar rule. uses counts the occurrences of the rule on the
-// right-hand side of other rules; the start rule has uses == 0.
-type rule struct {
-	guardSym *symbol
-	uses     int
-	id       uint64
-}
-
-func newRule(id uint64) *rule {
-	r := &rule{id: id}
-	g := &symbol{guard: true, rule: r}
-	g.next, g.prev = g, g
-	r.guardSym = g
-	return r
-}
-
-func (r *rule) first() *symbol { return r.guardSym.next }
-func (r *rule) last() *symbol  { return r.guardSym.prev }
-
 // digram is the index key for a pair of adjacent symbols. Terminals are
 // keyed by value; nonterminals by ^(rule id), which cannot collide with a
 // terminal because terminals are < MaxTerminal.
@@ -71,14 +46,19 @@ type digram struct {
 	a, b uint64
 }
 
-func symKey(s *symbol) uint64 {
+// keyOf returns the digram key of one symbol.
+func (g *Grammar) keyOf(h symRef) uint64 {
+	s := g.sym(h)
 	if s.isNonterminal() {
-		return ^s.rule.id
+		return ^g.rules[s.rule].id
 	}
 	return s.value
 }
 
-func digramOf(s *symbol) digram { return digram{symKey(s), symKey(s.next)} }
+// digramAt returns the key of the digram starting at h.
+func (g *Grammar) digramAt(h symRef) digram {
+	return digram{g.keyOf(h), g.keyOf(g.sym(h).next)}
+}
 
 // Options tunes the algorithm, for ablation experiments.
 type Options struct {
@@ -90,9 +70,9 @@ type Options struct {
 }
 
 // Metrics is the grammar's observability hook set. All fields may be nil
-// (the zero value): obsv metrics are nil-safe no-ops, so an instrumented
-// Append costs a few nil checks when disabled and a few atomic adds when
-// enabled — never an allocation.
+// (the zero value): obsv metrics are nil-safe no-ops, and the grammar
+// additionally skips the per-Append gauge updates entirely when no hook
+// is installed, so an uninstrumented Append pays one boolean test.
 type Metrics struct {
 	// Terminals counts input symbols appended.
 	Terminals *obsv.Counter
@@ -109,8 +89,21 @@ type Metrics struct {
 // Grammar is an online SEQUITUR grammar. The zero value is not usable;
 // call New.
 type Grammar struct {
-	start  *rule
-	index  map[digram]*symbol
+	// Symbol arena: chunked slabs, a bump cursor, and an intrusive
+	// freelist threaded through the next fields of freed symbols.
+	slabs   [][]symbol
+	symUsed uint32
+	symFree symRef
+
+	// Rule arena: dense slice (index 0 reserved as nilRule) plus a
+	// recycle stack of freed slots.
+	rules     []rule
+	freeRules []ruleRef
+
+	// table is the open-addressing digram index.
+	table digramTable
+
+	start  ruleRef
 	nextID uint64
 	opts   Options
 	// terminals is the number of input symbols appended so far.
@@ -119,14 +112,19 @@ type Grammar struct {
 	liveRules int
 	// rhsSymbols counts symbols currently on all right-hand sides.
 	rhsSymbols int
-	// metrics holds the observability hooks; the zero value is disabled.
-	metrics Metrics
+	// metrics holds the observability hooks; instrumented caches whether
+	// any hook is installed so the hot path can skip them in one test.
+	metrics      Metrics
+	instrumented bool
 }
 
 // SetMetrics installs observability hooks. The zero Metrics disables
 // instrumentation. Reset keeps the hooks, so pooled grammars stay
 // instrumented across reuse.
-func (g *Grammar) SetMetrics(m Metrics) { g.metrics = m }
+func (g *Grammar) SetMetrics(m Metrics) {
+	g.metrics = m
+	g.instrumented = m != Metrics{}
+}
 
 // New returns an empty grammar with default options.
 func New() *Grammar { return NewWithOptions(Options{}) }
@@ -134,28 +132,36 @@ func New() *Grammar { return NewWithOptions(Options{}) }
 // NewWithOptions returns an empty grammar with the given options.
 func NewWithOptions(opts Options) *Grammar {
 	g := &Grammar{
-		index:  make(map[digram]*symbol),
-		nextID: 1,
-		opts:   opts,
+		nextID:  1,
+		opts:    opts,
+		symUsed: 1, // handle 0 is the nil sentinel
+		rules:   make([]rule, 1, 64),
 	}
-	g.start = newRule(0)
+	g.table.init(minTableCap)
+	g.start = g.allocRule(0)
 	g.liveRules = 1
 	return g
 }
 
 // Reset returns the grammar to its freshly constructed state, keeping the
-// digram index's allocated capacity. A reset grammar is algorithmically
-// indistinguishable from New(): feeding it the same terminals yields an
-// identical Snapshot, because the index is only ever used for point
-// lookups, never iterated. Worker pools reuse one grammar per worker
-// across many chunk compressions to avoid re-growing the index map.
+// symbol slabs, the rule arena's storage, and the digram table's
+// capacity. A reset grammar is algorithmically indistinguishable from
+// New(): feeding it the same terminals yields an identical Snapshot,
+// because the index is only ever used for point lookups, never iterated.
+// Worker pools reuse one grammar per worker across many chunk
+// compressions, so steady-state chunk compression allocates nothing but
+// the snapshots.
 func (g *Grammar) Reset() {
-	clear(g.index)
+	g.table.reset()
+	g.symUsed = 1
+	g.symFree = nilSym
+	g.rules = g.rules[:1]
+	g.freeRules = g.freeRules[:0]
 	g.nextID = 1
-	g.start = newRule(0)
-	g.liveRules = 1
-	g.rhsSymbols = 0
 	g.terminals = 0
+	g.rhsSymbols = 0
+	g.start = g.allocRule(0)
+	g.liveRules = 1
 	g.metrics.DigramTable.Set(0)
 }
 
@@ -164,130 +170,144 @@ func (g *Grammar) Append(v uint64) {
 	if v >= MaxTerminal {
 		panic(fmt.Sprintf("sequitur: terminal %d out of range", v))
 	}
-	s := &symbol{value: v}
-	g.link(g.start.last(), s)
+	h := g.newSym(v, nilRule, false)
+	g.link(g.lastOf(g.start), h)
 	g.terminals++
-	if !s.prev.guard {
-		g.check(s.prev)
+	if p := g.sym(h).prev; !g.sym(p).guard {
+		g.check(p)
 	}
-	g.metrics.Terminals.Inc()
-	g.metrics.DigramTable.Set(int64(len(g.index)))
+	if g.instrumented {
+		g.metrics.Terminals.Inc()
+		g.metrics.DigramTable.Set(int64(g.table.live))
+	}
 }
 
 // Len reports the number of terminals appended so far.
 func (g *Grammar) Len() uint64 { return g.terminals }
 
 // link inserts n after p and bumps bookkeeping.
-func (g *Grammar) link(p, n *symbol) {
-	n.next = p.next
-	n.prev = p
-	p.next.prev = n
-	p.next = n
+func (g *Grammar) link(p, n symRef) {
+	ps, ns := g.sym(p), g.sym(n)
+	ns.next = ps.next
+	ns.prev = p
+	g.sym(ns.next).prev = n
+	ps.next = n
 	g.rhsSymbols++
-	if n.isNonterminal() {
-		n.rule.uses++
+	if ns.isNonterminal() {
+		g.rules[ns.rule].uses++
 	}
 }
 
 // unlink removes s from its list, removing the digrams it participates in
 // from the index when the index points at them, and decrements the use
-// count of s's rule if s is a nonterminal.
-func (g *Grammar) unlink(s *symbol) {
-	if !s.prev.guard {
-		g.forgetDigram(s.prev)
+// count of s's rule if s is a nonterminal. The caller frees the slot once
+// done with it.
+func (g *Grammar) unlink(h symRef) {
+	s := g.sym(h)
+	prev, next := s.prev, s.next
+	if !g.sym(prev).guard {
+		g.forgetDigram(prev)
 	}
-	if !s.next.guard {
-		g.forgetDigram(s)
+	if !g.sym(next).guard {
+		g.forgetDigram(h)
 	}
-	s.prev.next = s.next
-	s.next.prev = s.prev
+	g.sym(prev).next = next
+	g.sym(next).prev = prev
 	g.rhsSymbols--
 	if s.isNonterminal() {
-		s.rule.uses--
+		g.rules[s.rule].uses--
 	}
 }
 
-// forgetDigram removes the digram starting at s from the index if the
-// index entry is s itself.
-func (g *Grammar) forgetDigram(s *symbol) {
-	d := digramOf(s)
-	if g.index[d] == s {
-		delete(g.index, d)
-	}
+// forgetDigram removes the digram starting at h from the index if the
+// index entry is h itself.
+func (g *Grammar) forgetDigram(h symRef) {
+	d := g.digramAt(h)
+	g.table.deleteIf(d.a, d.b, h)
 }
 
 // check enforces digram uniqueness for the digram (s, s.next). It returns
 // true if a substitution took place.
-func (g *Grammar) check(s *symbol) bool {
-	if s.guard || s.next.guard {
+func (g *Grammar) check(h symRef) bool {
+	s := g.sym(h)
+	if s.guard || g.sym(s.next).guard {
 		return false
 	}
-	d := digramOf(s)
-	m, ok := g.index[d]
-	if !ok {
-		g.index[d] = s
+	a, b := g.keyOf(h), g.keyOf(s.next)
+	m := g.table.get(a, b)
+	if m == nilSym {
+		g.table.set(a, b, h)
 		return false
 	}
-	if m == s {
+	if m == h {
 		return false
 	}
-	if m.next == s || s.next == m {
+	if g.sym(m).next == h || s.next == m {
 		// Overlapping occurrence (run of identical symbols): leave it.
 		return false
 	}
-	g.match(s, m)
+	g.match(h, m)
 	return true
 }
 
 // match handles a repeated digram: s is the newly formed occurrence, m the
 // indexed one.
-func (g *Grammar) match(s, m *symbol) {
-	var r *rule
-	if m.prev.guard && m.next.next.guard {
+func (g *Grammar) match(s, m symRef) {
+	var r ruleRef
+	mPrev := g.sym(m).prev
+	mNextNext := g.sym(g.sym(m).next).next
+	if g.sym(mPrev).guard && g.sym(mNextNext).guard {
 		// The matched occurrence is the entire body of a rule: reuse it.
-		r = m.prev.rule
+		r = g.sym(mPrev).rule
 		g.metrics.RulesReused.Inc()
 		g.substitute(s, r)
 	} else {
 		// Create a new rule whose body is a copy of the digram.
-		r = newRule(g.nextID)
+		r = g.allocRule(g.nextID)
 		g.nextID++
 		g.liveRules++
 		g.metrics.RulesCreated.Inc()
-		g.link(r.guardSym, g.copySym(s))
-		g.link(r.first(), g.copySym(s.next))
+		g.link(g.rules[r].guardSym, g.copySym(s))
+		g.link(g.firstOf(r), g.copySym(g.sym(s).next))
 		// Replace the older occurrence first so its index entry is
 		// released before the newer one is rewritten.
 		g.substitute(m, r)
 		g.substitute(s, r)
-		g.index[digramOf(r.first())] = r.first()
+		f := g.firstOf(r)
+		g.table.set(g.keyOf(f), g.keyOf(g.sym(f).next), f)
 	}
 	// Rule utility: if the body of r begins with a nonterminal that is now
 	// used only once, inline that rule.
-	if f := r.first(); !g.opts.DisableRuleUtility && f.isNonterminal() && f.rule.uses == 1 {
+	if f := g.firstOf(r); !g.opts.DisableRuleUtility && g.sym(f).isNonterminal() && g.rules[g.sym(f).rule].uses == 1 {
 		g.expand(f)
 	}
 }
 
 // copySym returns a fresh symbol with the same content as s.
-func (g *Grammar) copySym(s *symbol) *symbol {
-	return &symbol{value: s.value, rule: s.rule}
+func (g *Grammar) copySym(h symRef) symRef {
+	s := g.sym(h)
+	return g.newSym(s.value, s.rule, false)
 }
 
 // substitute replaces the digram (s, s.next) with a reference to rule r,
-// then re-checks the digrams formed at both seams.
-func (g *Grammar) substitute(s *symbol, r *rule) {
-	p := s.prev
-	g.unlink(s.next)
-	g.unlink(s)
-	n := &symbol{rule: r}
+// then re-checks the digrams formed at both seams. The two replaced
+// symbols go back to the arena immediately: unlink has already evicted
+// any index entry held by them, so no live reference remains.
+func (g *Grammar) substitute(h symRef, r ruleRef) {
+	p := g.sym(h).prev
+	x := g.sym(h).next
+	g.unlink(x)
+	g.unlink(h)
+	g.freeSym(x)
+	g.freeSym(h)
+	n := g.newSym(0, r, false)
 	g.link(p, n)
 	// Check the left seam; if it substituted, the right seam was handled
 	// by the recursive work, and p.next may no longer be n.
-	if !p.guard && g.check(p) {
+	if !g.sym(p).guard && g.check(p) {
 		return
 	}
-	if !n.next.guard {
+	if !g.sym(g.sym(n).next).guard {
 		g.check(n)
 	}
 }
@@ -298,29 +318,34 @@ func (g *Grammar) substitute(s *symbol, r *rule) {
 // a guard; the right seam is re-checked, which either indexes the new
 // digram or folds it into an existing rule, keeping digram uniqueness
 // strict.
-func (g *Grammar) expand(u *symbol) {
-	r := u.rule
-	left := u.prev
-	right := u.next
-	first := r.first()
-	last := r.last()
-	if first.guard {
+func (g *Grammar) expand(u symRef) {
+	us := g.sym(u)
+	r := us.rule
+	left := us.prev
+	right := us.next
+	first := g.firstOf(r)
+	last := g.lastOf(r)
+	if g.sym(first).guard {
 		panic("sequitur: expanding empty rule")
 	}
 	g.unlink(u)
+	g.freeSym(u)
 	// Splice the rule body in place of u. The body symbols keep their
-	// identity, so interior digram index entries remain valid.
-	left.next = first
-	first.prev = left
-	last.next = right
-	right.prev = last
+	// identity, so interior digram index entries remain valid; only the
+	// guard and the rule's arena slot are released.
+	g.sym(left).next = first
+	g.sym(first).prev = left
+	g.sym(last).next = right
+	g.sym(right).prev = last
 	g.liveRules--
-	if !left.guard {
+	g.freeSym(g.rules[r].guardSym)
+	g.freeRule(r)
+	if !g.sym(left).guard {
 		if g.check(left) {
 			return
 		}
 	}
-	if !right.guard {
+	if !g.sym(right).guard {
 		g.check(last)
 	}
 }
@@ -328,9 +353,10 @@ func (g *Grammar) expand(u *symbol) {
 // Expand invokes yield for every terminal of the full expansion of the
 // start rule, in order. Iteration stops early if yield returns false.
 func (g *Grammar) Expand(yield func(uint64) bool) {
-	var walk func(r *rule) bool
-	walk = func(r *rule) bool {
-		for s := r.first(); !s.guard; s = s.next {
+	var walk func(r ruleRef) bool
+	walk = func(r ruleRef) bool {
+		for h := g.firstOf(r); !g.sym(h).guard; h = g.sym(h).next {
+			s := g.sym(h)
 			if s.isNonterminal() {
 				if !walk(s.rule) {
 					return false
@@ -381,32 +407,43 @@ type Snapshot struct {
 
 // Snapshot converts the grammar's current state into the array form. Rule
 // indices are assigned in first-reference order from the start rule, so
-// equal grammars snapshot identically.
+// equal grammars snapshot identically. Rule discovery runs on a dense
+// slice keyed by the arena index, and all right-hand sides share one
+// backing array sized by the live symbol count, so a snapshot costs a
+// handful of allocations however many rules it has.
 func (g *Grammar) Snapshot() *Snapshot {
-	indexOf := map[*rule]int32{g.start: 0}
-	order := []*rule{g.start}
+	indexOf := make([]int32, len(g.rules))
+	for i := range indexOf {
+		indexOf[i] = -1
+	}
+	indexOf[g.start] = 0
+	order := make([]ruleRef, 1, g.liveRules)
+	order[0] = g.start
 	// Discover rules breadth-first in reference order.
 	for i := 0; i < len(order); i++ {
-		for s := order[i].first(); !s.guard; s = s.next {
-			if s.isNonterminal() {
-				if _, ok := indexOf[s.rule]; !ok {
-					indexOf[s.rule] = int32(len(order))
-					order = append(order, s.rule)
-				}
+		for h := g.firstOf(order[i]); !g.sym(h).guard; h = g.sym(h).next {
+			s := g.sym(h)
+			if s.isNonterminal() && indexOf[s.rule] < 0 {
+				indexOf[s.rule] = int32(len(order))
+				order = append(order, s.rule)
 			}
 		}
 	}
+	backing := make([]Sym, 0, g.rhsSymbols)
 	snap := &Snapshot{Rules: make([][]Sym, len(order))}
 	for i, r := range order {
-		var rhs []Sym
-		for s := r.first(); !s.guard; s = s.next {
+		start := len(backing)
+		for h := g.firstOf(r); !g.sym(h).guard; h = g.sym(h).next {
+			s := g.sym(h)
 			if s.isNonterminal() {
-				rhs = append(rhs, Sym{Rule: indexOf[s.rule]})
+				backing = append(backing, Sym{Rule: indexOf[s.rule]})
 			} else {
-				rhs = append(rhs, Sym{Rule: -1, Value: s.value})
+				backing = append(backing, Sym{Rule: -1, Value: s.value})
 			}
 		}
-		snap.Rules[i] = rhs
+		if start < len(backing) {
+			snap.Rules[i] = backing[start:len(backing):len(backing)]
+		}
 	}
 	return snap
 }
@@ -441,22 +478,27 @@ func (sn *Snapshot) Expand(ri int, yield func(uint64) bool) bool {
 // many exist in each direction of the index/chain cross-check; tests
 // bound them rather than requiring zero. Verify is meant for tests; it
 // walks the whole grammar.
+//
+// The index cross-check is also what makes arena recycling safe to
+// trust: a prematurely freed symbol whose slot was reused would surface
+// here as an entry whose key no longer matches the slot's digram.
 func (g *Grammar) Verify() error {
-	seen := map[*rule]bool{g.start: true}
-	queue := []*rule{g.start}
-	refCount := map[*rule]int{}
-	symPos := map[*symbol]digram{}
+	seen := map[ruleRef]bool{g.start: true}
+	queue := []ruleRef{g.start}
+	refCount := map[ruleRef]int{}
+	symPos := map[symRef]digram{}
 	totalRHS := 0
 	for len(queue) > 0 {
 		r := queue[0]
 		queue = queue[1:]
 		i := 0
-		for s := r.first(); !s.guard; s = s.next {
-			if s.next.prev != s || s.prev.next != s {
-				return fmt.Errorf("sequitur: rule %d: broken links at position %d", r.id, i)
+		for h := g.firstOf(r); !g.sym(h).guard; h = g.sym(h).next {
+			s := g.sym(h)
+			if g.sym(s.next).prev != h || g.sym(s.prev).next != h {
+				return fmt.Errorf("sequitur: rule %d: broken links at position %d", g.rules[r].id, i)
 			}
 			if s.guard {
-				return fmt.Errorf("sequitur: rule %d: interior guard at position %d", r.id, i)
+				return fmt.Errorf("sequitur: rule %d: interior guard at position %d", g.rules[r].id, i)
 			}
 			if s.isNonterminal() {
 				refCount[s.rule]++
@@ -465,14 +507,14 @@ func (g *Grammar) Verify() error {
 					queue = append(queue, s.rule)
 				}
 			}
-			if !s.next.guard {
-				symPos[s] = digramOf(s)
+			if !g.sym(s.next).guard {
+				symPos[h] = g.digramAt(h)
 			}
 			i++
 		}
 		totalRHS += i
 		if r != g.start && i < 2 {
-			return fmt.Errorf("sequitur: rule %d has body of length %d", r.id, i)
+			return fmt.Errorf("sequitur: rule %d has body of length %d", g.rules[r].id, i)
 		}
 	}
 	if len(seen) != g.liveRules {
@@ -482,21 +524,29 @@ func (g *Grammar) Verify() error {
 		return fmt.Errorf("sequitur: rhsSymbols=%d but %d symbols present", g.rhsSymbols, totalRHS)
 	}
 	for r, n := range refCount {
-		if r.uses != n {
-			return fmt.Errorf("sequitur: rule %d uses=%d but referenced %d times", r.id, r.uses, n)
+		if int(g.rules[r].uses) != n {
+			return fmt.Errorf("sequitur: rule %d uses=%d but referenced %d times", g.rules[r].id, g.rules[r].uses, n)
 		}
 		if n < 2 && !g.opts.DisableRuleUtility {
-			return fmt.Errorf("sequitur: rule %d referenced only %d time(s)", r.id, n)
+			return fmt.Errorf("sequitur: rule %d referenced only %d time(s)", g.rules[r].id, n)
 		}
 	}
-	for d, s := range g.index {
-		cur, live := symPos[s]
-		if !live {
-			return fmt.Errorf("sequitur: index entry (%d,%d) points at a dead or boundary symbol", d.a, d.b)
+	live := 0
+	for _, e := range g.table.entries {
+		if e.sym == nilSym {
+			continue
 		}
-		if cur != d {
-			return fmt.Errorf("sequitur: index entry (%d,%d) points at a symbol whose digram is (%d,%d)", d.a, d.b, cur.a, cur.b)
+		live++
+		cur, ok := symPos[e.sym]
+		if !ok {
+			return fmt.Errorf("sequitur: index entry (%d,%d) points at a dead or boundary symbol", e.a, e.b)
 		}
+		if cur != (digram{e.a, e.b}) {
+			return fmt.Errorf("sequitur: index entry (%d,%d) points at a symbol whose digram is (%d,%d)", e.a, e.b, cur.a, cur.b)
+		}
+	}
+	if live != g.table.live {
+		return fmt.Errorf("sequitur: digram table live=%d but %d entries occupied", g.table.live, live)
 	}
 	return nil
 }
@@ -507,25 +557,26 @@ func (g *Grammar) Verify() error {
 // exposed so tests can bound the known seam-handling slack instead of
 // demanding exact uniqueness.
 func (g *Grammar) DigramDuplicates() int {
-	seen := map[*rule]bool{g.start: true}
-	queue := []*rule{g.start}
+	seen := map[ruleRef]bool{g.start: true}
+	queue := []ruleRef{g.start}
 	count := map[digram]int{}
 	dups := 0
 	for len(queue) > 0 {
 		r := queue[0]
 		queue = queue[1:]
 		prevOverlap := false
-		for s := r.first(); !s.guard; s = s.next {
+		for h := g.firstOf(r); !g.sym(h).guard; h = g.sym(h).next {
+			s := g.sym(h)
 			if s.isNonterminal() && !seen[s.rule] {
 				seen[s.rule] = true
 				queue = append(queue, s.rule)
 			}
-			if s.next.guard {
+			if g.sym(s.next).guard {
 				continue
 			}
-			d := digramOf(s)
+			d := g.digramAt(h)
 			// Skip the second of two overlapping occurrences (aaa).
-			if !s.prev.guard && symKey(s.prev) == d.a && d.a == d.b && !prevOverlap {
+			if !g.sym(s.prev).guard && g.keyOf(s.prev) == d.a && d.a == d.b && !prevOverlap {
 				prevOverlap = true
 				continue
 			}

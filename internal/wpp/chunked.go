@@ -89,8 +89,11 @@ func (b *ChunkedBuilder) seal() {
 		b.peakRHS = st.RHSSymbols
 	}
 	b.chunks = append(b.chunks, b.cur.Snapshot())
-	b.cur = sequitur.New()
-	b.cur.SetMetrics(b.metrics.Grammar)
+	// Reset rewinds the grammar's slab arena and digram table without
+	// releasing them (and keeps the metrics hooks), so compressing the
+	// next chunk allocates nothing but its snapshot — the same pooling
+	// the parallel builder's workers do.
+	b.cur.Reset()
 	b.curCount = 0
 	b.metrics.ChunksSealed.Inc()
 }
