@@ -17,6 +17,7 @@ import (
 	"repro/internal/hotpath"
 	"repro/internal/obsv"
 	"repro/internal/workloads"
+	iwpp "repro/internal/wpp"
 )
 
 func main() {
@@ -26,6 +27,8 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions for timing experiments (best-of)")
 	workers := flag.Int("workers", 0, "worker count for the p1 parallel-scaling experiment (0 = all cores)")
 	seqbench := flag.String("seqbench", "", "measure raw SEQUITUR throughput and write the trajectory JSON to this file (e.g. BENCH_sequitur.json); if the file already holds a previous run, print a benchstat-style comparison before overwriting")
+	eventbench := flag.String("eventbench", "", "measure the scalar-vs-batched builder ingestion chains and write the trajectory JSON to this file (e.g. BENCH_eventpath.json); diffs against a previous run like -seqbench")
+	golden := flag.String("golden", "", "decode and verify every artifact in this directory before running anything else; exit nonzero on the first failure")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :6060)")
 	progress := flag.Duration("progress", 0, "emit a progress line to stderr at this interval (e.g. 1s)")
 	flag.Parse()
@@ -55,6 +58,14 @@ func main() {
 		}
 	}
 	fmt.Printf("whole-program-paths benchmark harness (scale=%s)\n\n", scale)
+
+	if *golden != "" {
+		// A golden corpus that stops decoding means the codec broke
+		// compatibility; nothing measured afterwards could be trusted.
+		if err := checkGolden(*golden); err != nil {
+			fatal(err)
+		}
+	}
 
 	show := func(tbl *experiments.Table, err error) {
 		if err != nil {
@@ -130,6 +141,94 @@ func main() {
 		}
 		expDone.Inc()
 	}
+	if *eventbench != "" {
+		if err := runEventBench(*eventbench, scale, *workers, *reps); err != nil {
+			fatal(err)
+		}
+		expDone.Inc()
+	}
+}
+
+// checkGolden decodes and structurally verifies every artifact under
+// dir — the committed golden corpus spans all four registered formats,
+// so a failure here means a decoder regressed on bytes it must read
+// forever.
+func checkGolden(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	n := 0
+	for _, e := range entries {
+		if e.IsDir() || !isArtifactName(e.Name()) {
+			continue
+		}
+		path := dir + "/" + e.Name()
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		a, format, err := iwpp.DecodeArtifactNamed(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("golden %s: decode: %w", path, err)
+		}
+		if err := a.Verify(); err != nil {
+			return fmt.Errorf("golden %s (%s): verify: %w", path, format, err)
+		}
+		fmt.Printf("golden %s: %s, %d events ok\n", e.Name(), format, a.NumEvents())
+		n++
+	}
+	if n == 0 {
+		return fmt.Errorf("golden directory %s holds no artifacts", dir)
+	}
+	fmt.Println()
+	return nil
+}
+
+// isArtifactName matches the extensions the golden corpus uses, one per
+// registered format generation, plus the legacy .wpp suffix.
+func isArtifactName(name string) bool {
+	for _, ext := range []string{".wpp", ".wpp1", ".wpp2", ".wpc1", ".wpc2"} {
+		if strings.HasSuffix(name, ext) {
+			return true
+		}
+	}
+	return false
+}
+
+// runEventBench records an event-path trajectory point, diffing against
+// the previous point when the file holds one (same protocol as
+// runSeqBench).
+func runEventBench(path string, scale experiments.Scale, workers, reps int) error {
+	var old *experiments.EventBenchResult
+	if raw, err := os.ReadFile(path); err == nil {
+		old = &experiments.EventBenchResult{}
+		if err := json.Unmarshal(raw, old); err != nil {
+			return fmt.Errorf("previous trajectory %s is not valid JSON (delete it to start fresh): %w", path, err)
+		}
+		if old.Schema != experiments.EventBenchSchema {
+			return fmt.Errorf("previous trajectory %s has schema %q, want %q (delete it to start fresh)", path, old.Schema, experiments.EventBenchSchema)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	if workers <= 0 {
+		workers = 2
+	}
+	res, tbl, err := experiments.EventBench(scale, workloads.Names(), 4096, workers, reps)
+	if err != nil {
+		return err
+	}
+	fmt.Println(tbl.String())
+	if old != nil {
+		fmt.Println(experiments.CompareEventBench(old, res).String())
+	}
+	raw, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
 }
 
 // runSeqBench records a compressor-throughput trajectory point: measure

@@ -13,8 +13,10 @@
 // selects the parallel chunked pipeline on -workers goroutines (default:
 // all cores), producing a chunked artifact (magic "WPC1"); without
 // -chunk the classic monolithic artifact ("WPP1") is built. The artifact
-// is byte-identical for every worker count. Both formats are registered
-// with the artifact codec, so wpphot, wppstats, and wppdiff read either.
+// is byte-identical for every worker count. -format wpp2 writes the v2
+// encoding (varint/delta-packed cost table, rank-coded terminals), which
+// is never larger than v1. All four formats are registered with the
+// artifact codec, so wpphot, wppstats, and wppdiff read any of them.
 //
 // Building from a raw trace loses per-path instruction costs (the trace
 // format does not carry them); analyses then weight every path equally.
@@ -48,12 +50,13 @@ func main() {
 	workload := flag.String("workload", "", "build from a built-in workload")
 	scaleFlag := flag.String("scale", "small", "workload scale (small|medium|large)")
 	chunk := flag.Uint64("chunk", 0, "chunk size in events; >0 builds a chunked artifact with the parallel pipeline")
+	format := flag.String("format", "wpp1", "on-disk encoding: wpp1 (classic) or wpp2 (delta/varint-packed, never larger)")
 	verify := flag.Bool("verify", false, "prove the Ball–Larus numberings and deep-verify the artifact before writing it")
 	workers := flag.Int("workers", 0, "parallel compression workers for -chunk (0 = all cores)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :6060)")
 	progress := flag.Duration("progress", 0, "emit a progress line to stderr at this interval (e.g. 1s)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: wppbuild -o out.wpp [-chunk n -workers w] (program.wl [arg ...] | -workload name [-scale s] | -trace in.wpt)\n")
+		fmt.Fprintf(os.Stderr, "usage: wppbuild -o out.wpp [-chunk n -workers w] [-format wpp1|wpp2] (program.wl [arg ...] | -workload name [-scale s] | -trace in.wpt)\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -119,6 +122,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if err := setFormat(a, *format); err != nil {
+		fatal(err)
+	}
 	if *verify {
 		vrep, verr := a.VerifyArtifact()
 		if verr != nil {
@@ -143,6 +149,28 @@ func main() {
 	}
 	printArtifact(a, rep, n, *out)
 	shutdown()
+}
+
+// setFormat selects the artifact's on-disk encoding. The encoding is a
+// property of serialization only: the in-memory artifact and everything
+// derived from it are identical under either version.
+func setFormat(a iwpp.Artifact, format string) error {
+	var v uint8
+	switch format {
+	case "wpp1":
+		v = iwpp.FormatV1
+	case "wpp2":
+		v = iwpp.FormatV2
+	default:
+		return fmt.Errorf("unknown -format %q (want wpp1 or wpp2)", format)
+	}
+	switch t := a.(type) {
+	case *iwpp.WPP:
+		t.Version = v
+	case *iwpp.ChunkedWPP:
+		t.Version = v
+	}
+	return nil
 }
 
 // printArtifact renders the per-format build summary; the formats differ
@@ -192,15 +220,22 @@ func proveNumberings(names []string, nums []*bl.Numbering) {
 // builderFactory constructs the event consumer for one build.
 type builderFactory func(names []string, nums []*bl.Numbering) iwpp.Builder
 
+// builderSink late-binds the builder (which needs the machine's
+// numberings, so it is constructed after the machine) while presenting
+// a batch-capable sink, so the interpreter delivers events a slice at
+// a time and the builder runs its batched compression path.
+type builderSink struct{ b iwpp.Builder }
+
+func (s *builderSink) Add(e trace.Event)         { s.b.Add(e) }
+func (s *builderSink) AddBatch(es []trace.Event) { s.b.AddBatch(es) }
+
 func fromSource(source string, args []int64, newBuilder builderFactory) (iwpp.Artifact, *iwpp.BuildReport, error) {
 	prog, err := wlc.Compile(source)
 	if err != nil {
 		return nil, nil, err
 	}
-	// The builder needs the machine's numberings, so it is constructed
-	// after the machine; the SinkFunc closure late-binds it.
-	var b iwpp.Builder
-	m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: trace.SinkFunc(func(e trace.Event) { b.Add(e) })})
+	sink := &builderSink{}
+	m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: sink})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -208,7 +243,8 @@ func fromSource(source string, args []int64, newBuilder builderFactory) (iwpp.Ar
 	for i, fn := range prog.Funcs {
 		names[i] = fn.Name
 	}
-	b = newBuilder(names, m.Numberings())
+	b := newBuilder(names, m.Numberings())
+	sink.b = b
 	if _, err := m.Run("main", args...); err != nil {
 		b.Finish(0) // drain the pipeline so worker goroutines do not leak
 		return nil, nil, err

@@ -77,8 +77,8 @@ func main() {
 		diverge = n
 	}
 	fmt.Printf("traces diverge at event %d of %d/%d\n", diverge, len(ea), len(eb))
-	fmt.Printf("  %s: %s\n", flag.Arg(0), render(a, ea, diverge))
-	fmt.Printf("  %s: %s\n", flag.Arg(1), render(b, eb, diverge))
+	fmt.Printf("  %s (%s): %s\n", flag.Arg(0), a.format, render(a, ea, diverge))
+	fmt.Printf("  %s (%s): %s\n", flag.Arg(1), b.format, render(b, eb, diverge))
 	if *verbose {
 		lo := diverge - 5
 		if lo < 0 {
@@ -120,10 +120,12 @@ func diffSpectra(a, b *iwpp.WPP, top int) {
 	os.Exit(1)
 }
 
-// artifact holds either decoded kind; exactly one field is non-nil.
+// artifact holds either decoded kind; exactly one of mono/chunk is
+// non-nil. format is the registered name of the encoding that was read.
 type artifact struct {
-	mono  *iwpp.WPP
-	chunk *iwpp.ChunkedWPP
+	mono   *iwpp.WPP
+	chunk  *iwpp.ChunkedWPP
+	format string
 }
 
 // Walk yields the full event trace, whichever encoding carries it.
@@ -148,11 +150,11 @@ func load(path string) (artifact, error) {
 		return artifact{}, err
 	}
 	defer f.Close()
-	w, cw, err := iwpp.DecodeAny(f)
+	w, cw, format, err := iwpp.DecodeAnyNamed(f)
 	if err != nil {
 		return artifact{}, fmt.Errorf("%s: %w", path, err)
 	}
-	return artifact{mono: w, chunk: cw}, nil
+	return artifact{mono: w, chunk: cw, format: format}, nil
 }
 
 func render(a artifact, events []trace.Event, i int) string {

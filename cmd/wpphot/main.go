@@ -52,7 +52,7 @@ func main() {
 		fatal(err)
 	}
 	defer f.Close()
-	w, cw, err := iwpp.DecodeAny(&obsv.CountingReader{R: f, C: artifactBytes})
+	w, cw, format, err := iwpp.DecodeAnyNamed(&obsv.CountingReader{R: f, C: artifactBytes})
 	if err != nil {
 		fatal(err)
 	}
@@ -77,8 +77,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("%d minimal hot subpaths (len %d..%d, threshold %.3f, total cost %d)\n",
-		len(subs), *minLen, *maxLen, *threshold, instrs)
+	fmt.Printf("%s, %d minimal hot subpaths (len %d..%d, threshold %.3f, total cost %d)\n",
+		format, len(subs), *minLen, *maxLen, *threshold, instrs)
 	for i, s := range subs {
 		if i >= *top {
 			fmt.Printf("... %d more\n", len(subs)-i)

@@ -57,7 +57,7 @@ func main() {
 		fatal(err)
 	}
 	defer f.Close()
-	w, cw, err := iwpp.DecodeAny(f)
+	w, cw, format, err := iwpp.DecodeAnyNamed(f)
 	if err != nil {
 		fatal(err)
 	}
@@ -65,7 +65,7 @@ func main() {
 		fatal(fmt.Errorf("-workload requires -verify"))
 	}
 	if cw != nil {
-		chunkedStats(cw, *dump, *profile, *funcs, *dot, *verify, *workload)
+		chunkedStats(cw, format, *dump, *profile, *funcs, *dot, *verify, *workload)
 		return
 	}
 	if err := w.Verify(); err != nil {
@@ -95,6 +95,7 @@ func main() {
 		return
 	}
 	st := w.Stats()
+	fmt.Printf("format:         %s\n", format)
 	fmt.Printf("functions:      %d\n", len(w.Funcs))
 	fmt.Printf("events:         %d\n", st.Events)
 	fmt.Printf("distinct paths: %d\n", st.DistinctPaths)
@@ -138,7 +139,7 @@ func main() {
 // chunkedStats is the chunked-artifact branch: structure statistics plus
 // -dump (the trace walk works per chunk). The grammar-level views need
 // the single monolithic grammar and are rejected.
-func chunkedStats(c *iwpp.ChunkedWPP, dump, profile int, funcs, dot, verify bool, workload string) {
+func chunkedStats(c *iwpp.ChunkedWPP, format string, dump, profile int, funcs, dot, verify bool, workload string) {
 	if dot {
 		fatal(fmt.Errorf("-dot supports only monolithic artifacts (chunked artifacts have one grammar per chunk)"))
 	}
@@ -160,6 +161,7 @@ func chunkedStats(c *iwpp.ChunkedWPP, dump, profile int, funcs, dot, verify bool
 	}
 	st := c.Stats()
 	raw, enc := c.RawTraceBytes(), c.EncodedBytes()
+	fmt.Printf("format:         %s\n", format)
 	fmt.Printf("functions:      %d\n", len(c.Funcs))
 	fmt.Printf("events:         %d\n", st.Events)
 	fmt.Printf("distinct paths: %d\n", c.DistinctPaths())

@@ -66,13 +66,18 @@ func allocDelta(f func()) uint64 {
 	return after.TotalAlloc - before.TotalAlloc
 }
 
+// timeOnce times a single run of f.
+func timeOnce(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
 // bestOf times f reps times and returns the fastest run.
 func bestOf(reps int, f func()) time.Duration {
 	best := time.Duration(1<<63 - 1)
 	for i := 0; i < reps; i++ {
-		start := time.Now()
-		f()
-		if d := time.Since(start); d < best {
+		if d := timeOnce(f); d < best {
 			best = d
 		}
 	}

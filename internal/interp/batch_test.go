@@ -1,0 +1,126 @@
+package interp
+
+// Differential tests for the batched emission path: a Machine whose
+// Sink also implements trace.BatchSink buffers events and delivers
+// them a slice at a time, and the delivered stream must be identical
+// to what a plain Sink sees — same events, same order, flushed in full
+// on both the success and the error paths.
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/wlc"
+)
+
+const batchTestSrc = `
+func helper(n) {
+	var s = 0;
+	var i = 0;
+	while i < n {
+		if i % 3 == 0 {
+			s = s + i;
+		} else {
+			s = s - 1;
+		}
+		i = i + 1;
+	}
+	return s;
+}
+func main(n) {
+	var t = 0;
+	var j = 0;
+	while j < n {
+		t = t + helper(j % 17);
+		j = j + 1;
+	}
+	return t;
+}
+`
+
+// traceWith runs the program in the given mode and returns the event
+// stream seen by a sink of the given batchiness.
+func traceWith(t *testing.T, mode Mode, batched bool, arg int64) ([]trace.Event, Stats, error) {
+	t.Helper()
+	p, err := wlc.Compile(batchTestSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []trace.Event
+	var sink trace.Sink
+	if batched {
+		// Buffer implements BatchSink, so the machine batches into it.
+		buf := &trace.Buffer{}
+		defer func() { got = append(got, buf.Events...) }()
+		sink = buf
+	} else {
+		sink = trace.SinkFunc(func(e trace.Event) { got = append(got, e) })
+	}
+	m, err := New(p, Config{Mode: mode, Sink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, runErr := m.Run("main", arg)
+	if b, ok := sink.(*trace.Buffer); ok {
+		got = b.Events
+	}
+	return got, m.Stats(), runErr
+}
+
+// TestBatchedSinkMatchesPlainSink: both trace modes, a workload long
+// enough to cross the emission-buffer boundary several times.
+func TestBatchedSinkMatchesPlainSink(t *testing.T) {
+	for _, mode := range []Mode{PathTrace, BlockTrace} {
+		plain, pStats, err := traceWith(t, mode, false, 1200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batched, bStats, err := traceWith(t, mode, true, 1200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plain) <= emitBatchSize {
+			t.Fatalf("workload produced only %d events; grow it past the %d-event buffer", len(plain), emitBatchSize)
+		}
+		if !reflect.DeepEqual(plain, batched) {
+			t.Fatalf("mode %d: streams diverge (%d vs %d events)", mode, len(plain), len(batched))
+		}
+		if pStats.Events != bStats.Events || pStats.Events != uint64(len(plain)) {
+			t.Fatalf("mode %d: event counts diverge: plain=%d batched=%d delivered=%d", mode, pStats.Events, bStats.Events, len(plain))
+		}
+	}
+}
+
+// TestBatchedSinkFlushedOnError: a run that dies on the instruction
+// limit must still deliver every event emitted up to the fault, and
+// Stats.Events must equal what the sink saw.
+func TestBatchedSinkFlushedOnError(t *testing.T) {
+	p, err := wlc.Compile(batchTestSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plain []trace.Event
+	mp, err := New(p, Config{Mode: PathTrace, MaxInstrs: 50000, Sink: trace.SinkFunc(func(e trace.Event) { plain = append(plain, e) })})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mp.Run("main", 10000); !errors.Is(err, ErrInstrLimit) {
+		t.Fatalf("expected instruction-limit error, got %v", err)
+	}
+	buf := &trace.Buffer{}
+	mb, err := New(p, Config{Mode: PathTrace, MaxInstrs: 50000, Sink: buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mb.Run("main", 10000); !errors.Is(err, ErrInstrLimit) {
+		t.Fatalf("expected instruction-limit error, got %v", err)
+	}
+	if !reflect.DeepEqual(plain, buf.Events) {
+		t.Fatalf("error-path streams diverge: plain=%d batched=%d events", len(plain), len(buf.Events))
+	}
+	if mb.Stats().Events != uint64(len(buf.Events)) {
+		t.Fatalf("stats say %d events, sink saw %d", mb.Stats().Events, len(buf.Events))
+	}
+}

@@ -105,7 +105,18 @@ type Machine struct {
 	plans [][][]edgePlan // [func][block][succIdx]
 	nums  []*bl.Numbering
 	stats Stats
+	// batch is non-nil when the configured Sink also implements
+	// trace.BatchSink: events are then buffered in ebuf and flushed a
+	// slice at a time, letting batch-capable consumers (the WPP
+	// builders) run their fast path. With a plain Sink both stay nil and
+	// every event is delivered as it happens.
+	batch trace.BatchSink
+	ebuf  []trace.Event
 }
+
+// emitBatchSize is the emission buffer capacity: large enough to
+// amortize the per-flush costs, small enough to stay cache-resident.
+const emitBatchSize = 4096
 
 // New prepares a machine. For PathTrace mode it computes the Ball–Larus
 // numbering of every function, which fails if any function is irreducible
@@ -118,6 +129,10 @@ func New(p *wlc.Program, config Config) (*Machine, error) {
 		return nil, fmt.Errorf("interp: trace mode %d requires a Sink", config.Mode)
 	}
 	m := &Machine{prog: p, cfg: config}
+	if bs, ok := config.Sink.(trace.BatchSink); ok && config.Mode != NoTrace {
+		m.batch = bs
+		m.ebuf = make([]trace.Event, 0, emitBatchSize)
+	}
 	m.stats.FuncInstrs = make([]uint64, len(p.Funcs))
 	if config.Mode == PathTrace {
 		if len(p.Funcs) > trace.MaxFuncs {
@@ -179,10 +194,37 @@ func (m *Machine) Run(entry string, args ...int64) (int64, error) {
 		vals[i] = Value{I: a}
 	}
 	res, err := m.call(f, vals)
+	// Flush on the error path too: a partial trace up to the fault is
+	// still a valid trace, and Stats.Events must agree with what the
+	// sink saw.
+	m.flushEvents()
 	if err != nil {
 		return 0, err
 	}
 	return res.I, nil
+}
+
+// emit delivers one event, through the batch buffer when the sink is
+// batch-capable.
+func (m *Machine) emit(e trace.Event) {
+	if m.batch == nil {
+		m.cfg.Sink.Add(e)
+		return
+	}
+	m.ebuf = append(m.ebuf, e)
+	if len(m.ebuf) == cap(m.ebuf) {
+		m.batch.AddBatch(m.ebuf)
+		m.ebuf = m.ebuf[:0]
+	}
+}
+
+// flushEvents drains the emission buffer; a no-op for plain sinks.
+func (m *Machine) flushEvents() {
+	if m.batch == nil || len(m.ebuf) == 0 {
+		return
+	}
+	m.batch.AddBatch(m.ebuf)
+	m.ebuf = m.ebuf[:0]
 }
 
 func (m *Machine) rtErr(f *wlc.Func, pos wl.Pos, format string, args ...any) error {
@@ -207,7 +249,7 @@ func (m *Machine) call(f *wlc.Func, args []Value) (Value, error) {
 		}
 		if m.cfg.Mode == BlockTrace {
 			m.stats.Events++
-			m.cfg.Sink.Add(trace.MakeEvent(uint32(f.ID), uint64(cur)))
+			m.emit(trace.MakeEvent(uint32(f.ID), uint64(cur)))
 		}
 		for i := range f.Code[cur] {
 			in := &f.Code[cur][i]
@@ -229,7 +271,7 @@ func (m *Machine) call(f *wlc.Func, args []Value) (Value, error) {
 		case TermExitKind:
 			if m.cfg.Mode == PathTrace {
 				m.stats.Events++
-				m.cfg.Sink.Add(trace.MakeEvent(uint32(f.ID), pathReg))
+				m.emit(trace.MakeEvent(uint32(f.ID), pathReg))
 			}
 			return regs[0], nil
 		}
@@ -241,7 +283,7 @@ func (m *Machine) call(f *wlc.Func, args []Value) (Value, error) {
 			ep := m.plans[f.ID][cur][si]
 			if ep.back {
 				m.stats.Events++
-				m.cfg.Sink.Add(trace.MakeEvent(uint32(f.ID), pathReg+ep.emitAdd))
+				m.emit(trace.MakeEvent(uint32(f.ID), pathReg+ep.emitAdd))
 				pathReg = ep.reset
 			} else {
 				pathReg += ep.add

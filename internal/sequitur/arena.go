@@ -62,7 +62,9 @@ type rule struct {
 
 // sym resolves a handle to its slab slot. The pointer is stable (slabs
 // are never reallocated), but must not be held across a call that may
-// allocate a symbol: the allocation could recycle the very slot.
+// allocate a symbol: the allocation could recycle the very slot. Slabs
+// are pointers to fixed-size arrays, so the low-bits index needs no
+// bounds check and the resolution is two dependent loads.
 func (g *Grammar) sym(h symRef) *symbol {
 	return &g.slabs[h>>slabBits][h&slabMask]
 }
@@ -78,7 +80,7 @@ func (g *Grammar) allocSym() symRef {
 	}
 	h := g.symUsed
 	if int(h>>slabBits) == len(g.slabs) {
-		g.slabs = append(g.slabs, make([]symbol, slabSize))
+		g.slabs = append(g.slabs, new([slabSize]symbol))
 	}
 	g.symUsed++
 	return symRef(h)

@@ -1,0 +1,356 @@
+package sequitur
+
+import "fmt"
+
+// panicTerminal reports an out-of-range terminal, hoisted out of the
+// batch loop so the loop body stays inlinable.
+func panicTerminal(v uint64) {
+	panic(fmt.Sprintf("sequitur: terminal %d out of range", v))
+}
+
+// The batch append engine: AppendBatch consumes a slice of terminals and
+// produces a grammar structurally identical to feeding the same values
+// through Append one at a time. It is a second, specialized implementation
+// of the same algorithm, not a loop over Append — the differential tests
+// in batch_test.go and the parity fuzzer pin the two paths together.
+//
+// Where the speed comes from, relative to the scalar path:
+//
+//   - the start rule's tail handle and its digram key are carried across
+//     iterations instead of being re-derived from the guard every event,
+//     so the common no-repetition append touches the symbol arena once;
+//   - the digram probe uses getOrSet: one walk of the probe chain either
+//     finds the repeated occurrence or indexes the new digram, where the
+//     scalar path probes twice (get, then set);
+//   - substitution passes the digram keys it already knows down the call
+//     chain (substituteB, checkKeyed) instead of recomputing them from
+//     the arena, and skips the two index probes the scalar unlink pair
+//     issues that are provably no-ops (see substituteB);
+//   - the replaced occurrence's arena slot is rewritten in place as the
+//     new nonterminal instead of being freed and immediately re-allocated;
+//   - instrumentation (terminal counter, table gauge) updates once per
+//     batch instead of once per event.
+//
+// Equivalence rests on one observation: the grammar's evolution depends
+// only on the digram table's *contents* (a key → occurrence map), never
+// on its memory layout, and on the structural chain state — not on arena
+// handle numbering. Every shortcut below preserves table contents and
+// structure exactly; Verify cross-checks both after the fact.
+
+// AppendBatch feeds a slice of terminals to the grammar, equivalent to
+// calling Append for each element in order. It panics if any value is
+// >= MaxTerminal — the whole batch is validated before any element is
+// appended. The instrumentation hooks observe one update per batch
+// rather than per event; counter totals still match the scalar path
+// after the batch completes.
+func (g *Grammar) AppendBatch(vs []uint64) { AppendBatchOf(g, vs) }
+
+// AppendBatchOf is AppendBatch generalized over any uint64-shaped
+// element type, so callers whose event types are defined as uint64
+// (trace.Event) feed their slices directly instead of paying a
+// conversion copy per batch.
+func AppendBatchOf[T ~uint64](g *Grammar, vs []T) {
+	if len(vs) == 0 {
+		return
+	}
+	for _, v := range vs {
+		if uint64(v) >= MaxTerminal {
+			panicTerminal(uint64(v))
+		}
+	}
+	guard := g.rules[g.start].guardSym
+	gp := g.sym(guard)
+	tail := gp.prev
+	tp := g.sym(tail)
+	tailGuard := tail == guard
+	var tailKey uint64
+	if !tailGuard {
+		tailKey = g.keyOf(tail)
+	}
+	// Every iteration links exactly one symbol; substitutions adjust the
+	// count down as they happen, so the net bookkeeping can be hoisted.
+	g.rhsSymbols += len(vs)
+	for _, tv := range vs {
+		v := uint64(tv)
+		// Inline symbol allocation (allocSym + newSym fused into one
+		// slot write) and tail link. tp caches the tail's slot pointer —
+		// slabs never move and the tail is live, so it stays valid across
+		// iterations.
+		h := g.symFree
+		var s *symbol
+		if h != nilSym {
+			s = g.sym(h)
+			g.symFree = s.next
+		} else {
+			h = symRef(g.symUsed)
+			if int(h>>slabBits) == len(g.slabs) {
+				g.slabs = append(g.slabs, new([slabSize]symbol))
+			}
+			g.symUsed++
+			s = g.sym(h)
+		}
+		*s = symbol{value: v, next: guard, prev: tail}
+		tp.next = h
+		gp.prev = h
+		if tailGuard {
+			// First symbol of the start rule: no digram yet.
+			tail, tp, tailKey, tailGuard = h, s, v, false
+			continue
+		}
+		// Digram uniqueness for (tail, h), keys known: the scalar path's
+		// check() with its get-then-set replaced by one fused probe. The
+		// new digram cannot already be indexed at tail (tail was the last
+		// symbol; its digram did not exist), so a found entry is always a
+		// genuine other occurrence or an overlap.
+		m := g.table.getOrSet(tailKey, v, tail)
+		if m == nilSym || g.sym(m).next == tail {
+			// Indexed it, or overlapping occurrence (run of identical
+			// symbols) which the algorithm leaves unindexed.
+			tail, tp, tailKey = h, s, v
+			continue
+		}
+		g.matchB(tail, tp, m, tailKey, v)
+		// The substitution rewrote the end of the start rule; re-derive
+		// the tail state.
+		tail = gp.prev
+		tp = g.sym(tail)
+		tailGuard = tail == guard
+		if !tailGuard {
+			if tp.rule != nilRule {
+				tailKey = ^g.rules[tp.rule].id
+			} else {
+				tailKey = tp.value
+			}
+		}
+	}
+	g.terminals += uint64(len(vs))
+	if g.instrumented {
+		g.metrics.Terminals.Add(uint64(len(vs)))
+		g.metrics.DigramTable.Set(int64(g.table.live))
+	}
+}
+
+// matchB mirrors match with the digram keys (a, b) of the repeated
+// digram already known: s is the newly formed occurrence, m the indexed
+// one. sp is s resolved — callers always have the pointer in hand, and
+// sym(h) is a pure function of the handle (slabs never move), so
+// threading resolved pointers down the chain drops redundant arena
+// resolutions without any aliasing hazard.
+func (g *Grammar) matchB(s symRef, sp *symbol, m symRef, a, b uint64) {
+	var r ruleRef
+	ms := g.sym(m)
+	mPrevS := g.sym(ms.prev)
+	mNextNextS := g.sym(g.sym(ms.next).next)
+	if mPrevS.guard && mNextNextS.guard {
+		// The matched occurrence is the entire body of a rule: reuse it.
+		// The index entry for (a, b) points at that body and stays.
+		r = mPrevS.rule
+		g.metrics.RulesReused.Inc()
+		g.substituteB(s, sp, r, a, b, false)
+	} else {
+		r = g.allocRule(g.nextID)
+		g.nextID++
+		g.liveRules++
+		g.metrics.RulesCreated.Inc()
+		// Build the two-symbol body (copies of s and s.next) with direct
+		// writes instead of the generic copySym+link pair: the body is
+		// empty, so every neighbor is the fresh guard.
+		gh := g.rules[r].guardSym
+		c1 := g.allocSym()
+		c2 := g.allocSym()
+		xv := g.sym(sp.next)
+		*g.sym(c1) = symbol{value: sp.value, rule: sp.rule, next: c2, prev: gh}
+		*g.sym(c2) = symbol{value: xv.value, rule: xv.rule, next: gh, prev: c1}
+		ghs := g.sym(gh)
+		ghs.next, ghs.prev = c1, c2
+		g.rhsSymbols += 2
+		if sp.rule != nilRule {
+			g.rules[sp.rule].uses++
+		}
+		if xv.rule != nilRule {
+			g.rules[xv.rule].uses++
+		}
+		// Replace the older occurrence first so its index entry is
+		// released before the newer one is rewritten.
+		g.substituteB(m, ms, r, a, b, true)
+		g.substituteB(s, sp, r, a, b, false)
+		// Index the body digram. Its keys are exactly (a, b): the copies
+		// are never touched by the recursive substitutions above (the
+		// body is unreachable from the index until this insert), and a
+		// rule a copy references cannot be dissolved while the copy
+		// itself holds a use of it, so both keys are stable.
+		g.table.set(a, b, c1)
+	}
+	// Rule utility, exactly as in match.
+	if f := g.firstOf(r); !g.opts.DisableRuleUtility {
+		fs := g.sym(f)
+		if fs.isNonterminal() && g.rules[fs.rule].uses == 1 {
+			g.expandB(f, fs)
+		}
+	}
+}
+
+// expandB mirrors expand for the batch chain: u (resolved as us) is the
+// only remaining use of its rule rr and — by the matchB call discipline —
+// the first body symbol of the rule being grown, so its left seam is that
+// rule's guard. That lets this variant skip the left-seam forget probe,
+// drop the unlink splice stores (both immediately overwritten by the body
+// splice), skip the dead uses decrement on a rule about to be freed, and
+// run the right-seam re-check on the fused getOrSet probe with both
+// digram keys in hand. Table operation order matches expand exactly.
+func (g *Grammar) expandB(u symRef, us *symbol) {
+	rr := us.rule
+	left := us.prev
+	right := us.next
+	gh := g.rules[rr].guardSym
+	first := g.sym(gh).next
+	last := g.sym(gh).prev
+	if g.sym(first).guard {
+		panic("sequitur: expanding empty rule")
+	}
+	rightS := g.sym(right)
+	rightGuard := rightS.guard
+	var bKey uint64
+	if !rightGuard {
+		// u's right digram may be indexed at u.
+		if rightS.rule != nilRule {
+			bKey = ^g.rules[rightS.rule].id
+		} else {
+			bKey = rightS.value
+		}
+		g.table.deleteIf(^g.rules[rr].id, bKey, u)
+	}
+	g.rhsSymbols--
+	// Free u and splice the rule body in its place. The body symbols keep
+	// their identity, so interior digram index entries remain valid; only
+	// the guard and the rule's arena slot are released.
+	*us = symbol{next: g.symFree}
+	g.symFree = u
+	leftS := g.sym(left)
+	leftS.next = first
+	g.sym(first).prev = left
+	lastS := g.sym(last)
+	lastS.next = right
+	rightS.prev = last
+	g.liveRules--
+	g.freeSym(gh)
+	g.freeRule(rr)
+	if !leftS.guard {
+		// Unreachable under the call discipline (left is the growing
+		// rule's guard); kept for exact parity with expand.
+		if g.check(left) {
+			return
+		}
+	}
+	if !rightGuard {
+		var aKey uint64
+		if lastS.rule != nilRule {
+			aKey = ^g.rules[lastS.rule].id
+		} else {
+			aKey = lastS.value
+		}
+		m := g.table.getOrSet(aKey, bKey, last)
+		if m == nilSym || m == last {
+			return
+		}
+		if g.sym(m).next == last || m == right {
+			// Overlapping occurrence: leave it, as check does.
+			return
+		}
+		g.matchB(last, lastS, m, aKey, bKey)
+	}
+}
+
+// substituteB replaces the digram (h, h.next) with a reference to rule
+// r. The digram's keys (a, b) are passed in, and indexed says whether
+// the table entry for (a, b) points at h itself (true for the older,
+// indexed occurrence; false for the newly formed one, whose entry points
+// at the other occurrence).
+//
+// Two probes from the scalar unlink pair are skipped as provably dead:
+//
+//   - unlink(h.next)'s forget of the digram *starting at h* probes
+//     (a, b) — that entry points at the matched occurrence, so it is a
+//     hit only when indexed (then it must be deleted) and a guaranteed
+//     miss otherwise;
+//   - unlink(h)'s forget of h's own digram after the first splice: any
+//     entry pointing at h must carry h's current digram key (the unlink
+//     discipline Verify enforces), which is (a, b) — already deleted or
+//     pointing elsewhere — so the probe can never delete anything.
+//
+// The two replaced symbols are also not round-tripped through the
+// freelist: the scalar path frees h and immediately re-allocates the
+// same slot for the new nonterminal (LIFO freelist), so the slot is
+// rewritten in place here and only h.next's slot is freed.
+func (g *Grammar) substituteB(h symRef, hs *symbol, r ruleRef, a, b uint64, indexed bool) {
+	p := hs.prev
+	x := hs.next
+	xs := g.sym(x)
+	xNext := xs.next
+	xNextS := g.sym(xNext)
+	if indexed {
+		g.table.deleteIf(a, b, h)
+	}
+	xnGuard := xNextS.guard
+	var xnKey uint64
+	if !xnGuard {
+		// x's right digram may be indexed at x.
+		if xNextS.rule != nilRule {
+			xnKey = ^g.rules[xNextS.rule].id
+		} else {
+			xnKey = xNextS.value
+		}
+		g.table.deleteIf(b, xnKey, x)
+	}
+	if xs.rule != nilRule {
+		g.rules[xs.rule].uses--
+	}
+	ps := g.sym(p)
+	pGuard := ps.guard
+	var pKey uint64
+	if !pGuard {
+		// The digram (p, h) may be indexed at p.
+		if ps.rule != nilRule {
+			pKey = ^g.rules[ps.rule].id
+		} else {
+			pKey = ps.value
+		}
+		g.table.deleteIf(pKey, a, p)
+	}
+	if hs.rule != nilRule {
+		g.rules[hs.rule].uses--
+	}
+	// Free x; rewrite h's slot in place as the new nonterminal.
+	*xs = symbol{next: g.symFree}
+	g.symFree = x
+	*hs = symbol{rule: r, next: xNext, prev: p}
+	xNextS.prev = h
+	g.rhsSymbols--
+	g.rules[r].uses++
+	// Re-check the seams with their keys in hand. If the left seam
+	// substituted, the right seam was handled by the recursive work.
+	rKey := ^g.rules[r].id
+	if !pGuard && g.checkKeyed(p, ps, pKey, rKey) {
+		return
+	}
+	if !xnGuard {
+		g.checkKeyed(h, hs, rKey, xnKey)
+	}
+}
+
+// checkKeyed is check with both digram keys known and the guard tests
+// already done by the caller: it enforces digram uniqueness for the
+// digram (h, h.next) whose keys are (a, b), and reports whether a
+// substitution took place. hp is h resolved.
+func (g *Grammar) checkKeyed(h symRef, hp *symbol, a, b uint64) bool {
+	m := g.table.getOrSet(a, b, h)
+	if m == nilSym || m == h {
+		return false
+	}
+	if g.sym(m).next == h || hp.next == m {
+		// Overlapping occurrence (run of identical symbols): leave it.
+		return false
+	}
+	g.matchB(h, hp, m, a, b)
+	return true
+}

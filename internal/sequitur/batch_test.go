@@ -1,0 +1,235 @@
+package sequitur
+
+// The batch/scalar differential suite: AppendBatch is a second
+// implementation of the SEQUITUR update, so every test here drives the
+// same stream through both paths and requires structurally identical
+// grammars. Verify outcomes are compared rather than required nil —
+// the scalar reference itself has documented rule-utility seam slack
+// on some streams, and the batch path must reproduce it exactly, not
+// "fix" it.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// diffStreams feeds vs through scalar Append and through AppendBatch in
+// the given splits, then asserts the two grammars are indistinguishable:
+// same Verify outcome, same snapshot, same stats.
+func diffStreams(t *testing.T, vs []uint64, splits []int) {
+	t.Helper()
+	gs := New()
+	for _, v := range vs {
+		gs.Append(v)
+	}
+	gb := New()
+	lo := 0
+	for _, w := range splits {
+		gb.AppendBatch(vs[lo : lo+w])
+		lo += w
+	}
+	if lo != len(vs) {
+		t.Fatalf("splits cover %d of %d values", lo, len(vs))
+	}
+	if s, b := fmt.Sprint(gs.Verify()), fmt.Sprint(gb.Verify()); s != b {
+		t.Fatalf("Verify outcomes differ: scalar=%v batch=%v", s, b)
+	}
+	if !reflect.DeepEqual(gs.Snapshot(), gb.Snapshot()) {
+		t.Fatalf("snapshots differ (n=%d)", len(vs))
+	}
+	if gs.Stats() != gb.Stats() {
+		t.Fatalf("stats differ: %+v vs %+v", gs.Stats(), gb.Stats())
+	}
+}
+
+// randomSplits cuts n into random batch widths in [1, maxW].
+func randomSplits(rng *rand.Rand, n, maxW int) []int {
+	var splits []int
+	for rem := n; rem > 0; {
+		w := min(1+rng.Intn(maxW), rem)
+		splits = append(splits, w)
+		rem -= w
+	}
+	return splits
+}
+
+// TestBatchDifferentialRandom: random streams over small alphabets
+// (maximal digram collision pressure), random batch boundaries.
+func TestBatchDifferentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(2000)
+		alpha := 1 + rng.Intn(12)
+		vs := make([]uint64, n)
+		for i := range vs {
+			vs[i] = uint64(rng.Intn(alpha))
+		}
+		diffStreams(t, vs, randomSplits(rng, n, 64))
+	}
+}
+
+// TestBatchDifferentialPatterns pins the structured shapes that stress
+// specific engine paths: identical runs (overlap handling), period-2
+// and period-4 repetition (deep rule nesting and rule reuse), and a
+// stream long enough to grow slabs and rehash the digram table inside
+// one batch.
+func TestBatchDifferentialPatterns(t *testing.T) {
+	patterns := map[string][]uint64{}
+	run := make([]uint64, 500)
+	for i := range run {
+		run[i] = 7
+	}
+	patterns["identical-run"] = run
+	ab := make([]uint64, 600)
+	for i := range ab {
+		ab[i] = uint64(i % 2)
+	}
+	patterns["period-2"] = ab
+	abcd := make([]uint64, 800)
+	for i := range abcd {
+		abcd[i] = uint64(i % 4)
+	}
+	patterns["period-4"] = abcd
+	big := make([]uint64, 40000)
+	rng := rand.New(rand.NewSource(7))
+	for i := range big {
+		if rng.Intn(40) == 0 {
+			big[i] = uint64(100 + rng.Intn(20))
+		} else {
+			big[i] = []uint64{1, 2, 1, 3}[i%4]
+		}
+	}
+	patterns["grown"] = big
+	for name, vs := range patterns {
+		t.Run(name, func(t *testing.T) {
+			// One whole-stream batch and a fine split both must match.
+			diffStreams(t, vs, []int{len(vs)})
+			diffStreams(t, vs, randomSplits(rand.New(rand.NewSource(3)), len(vs), 5))
+		})
+	}
+}
+
+// TestBatchMixedWithScalar interleaves Append and AppendBatch calls on
+// one grammar against a pure-scalar reference.
+func TestBatchMixedWithScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vs := make([]uint64, 3000)
+	for i := range vs {
+		vs[i] = uint64(rng.Intn(6))
+	}
+	gs := New()
+	for _, v := range vs {
+		gs.Append(v)
+	}
+	gm := New()
+	for lo := 0; lo < len(vs); {
+		if rng.Intn(2) == 0 {
+			gm.Append(vs[lo])
+			lo++
+			continue
+		}
+		hi := min(lo+1+rng.Intn(40), len(vs))
+		gm.AppendBatch(vs[lo:hi])
+		lo = hi
+	}
+	if s, b := fmt.Sprint(gs.Verify()), fmt.Sprint(gm.Verify()); s != b {
+		t.Fatalf("Verify outcomes differ: scalar=%v mixed=%v", s, b)
+	}
+	if !reflect.DeepEqual(gs.Snapshot(), gm.Snapshot()) {
+		t.Fatal("snapshots differ")
+	}
+	if gs.Stats() != gm.Stats() {
+		t.Fatalf("stats differ: %+v vs %+v", gs.Stats(), gm.Stats())
+	}
+}
+
+// TestBatchEdgeCases: the empty batch is a no-op; an out-of-range
+// terminal panics before any element of the batch is appended.
+func TestBatchEdgeCases(t *testing.T) {
+	g := New()
+	g.AppendBatch(nil)
+	g.AppendBatch([]uint64{})
+	if st := g.Stats(); st.Terminals != 0 {
+		t.Fatalf("empty batches appended %d terminals", st.Terminals)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("AppendBatch accepted a terminal >= MaxTerminal")
+			}
+		}()
+		g.AppendBatch([]uint64{1, 2, MaxTerminal})
+	}()
+	// The batch was rejected whole: not even the valid prefix landed.
+	if st := g.Stats(); st.Terminals != 0 {
+		t.Fatalf("rejected batch still appended %d terminals", st.Terminals)
+	}
+}
+
+// TestBatchMetricsParity: instrumented counters must agree between the
+// paths after the stream completes (the batch path updates them per
+// batch, not per event).
+func TestBatchMetricsParity(t *testing.T) {
+	vs := allocStream(5000)
+	gs := New()
+	gs.SetMetrics(testMetrics())
+	for _, v := range vs {
+		gs.Append(v)
+	}
+	gb := New()
+	gb.SetMetrics(testMetrics())
+	gb.AppendBatch(vs)
+	for name, pair := range map[string][2]uint64{
+		"terminals":     {gs.metrics.Terminals.Value(), gb.metrics.Terminals.Value()},
+		"rules_created": {gs.metrics.RulesCreated.Value(), gb.metrics.RulesCreated.Value()},
+		"rules_reused":  {gs.metrics.RulesReused.Value(), gb.metrics.RulesReused.Value()},
+		"digram_table":  {uint64(gs.metrics.DigramTable.Value()), uint64(gb.metrics.DigramTable.Value())},
+	} {
+		if pair[0] != pair[1] {
+			t.Errorf("%s diverges: scalar=%d batch=%d", name, pair[0], pair[1])
+		}
+	}
+}
+
+// TestSteadyStateAppendBatchAllocatesNothing is the batch twin of the
+// scalar alloc guard: once warmed, Reset+AppendBatch is 0 B/event.
+func TestSteadyStateAppendBatchAllocatesNothing(t *testing.T) {
+	in := allocStream(60000)
+	g := New()
+	replay := func() {
+		g.Reset()
+		for lo := 0; lo < len(in); lo += 4096 {
+			g.AppendBatch(in[lo:min(lo+4096, len(in))])
+		}
+	}
+	replay() // warm-up: grow slabs, rule arena, and table past the working set
+	allocs := testing.AllocsPerRun(5, replay)
+	if allocs != 0 {
+		t.Errorf("steady-state Reset+AppendBatch allocated %.1f times per replay of %d events, want 0", allocs, len(in))
+	}
+}
+
+// FuzzBatchParity lets the fuzzer pick both the stream and the batch
+// geometry; any structural divergence between the paths fails.
+func FuzzBatchParity(f *testing.F) {
+	f.Add([]byte{1, 1, 0, 1, 0, 1, 0, 0, 1, 1, 1, 0, 0, 1, 1, 0, 1, 0, 0, 1}, uint8(3))
+	f.Add([]byte{1, 2, 3, 1, 2, 3, 1, 2, 3}, uint8(1))
+	f.Add([]byte{9, 9, 9, 9, 9, 9}, uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, width uint8) {
+		if len(data) == 0 {
+			return
+		}
+		vs := make([]uint64, len(data))
+		for i, b := range data {
+			vs[i] = uint64(b % 16)
+		}
+		w := int(width%64) + 1
+		var splits []int
+		for rem := len(vs); rem > 0; rem -= w {
+			splits = append(splits, min(w, rem))
+		}
+		diffStreams(t, vs, splits)
+	})
+}

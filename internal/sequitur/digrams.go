@@ -10,10 +10,15 @@ package sequitur
 
 // digramEntry is one slot: the two 64-bit symbol keys and the handle of
 // the indexed occurrence. sym == nilSym marks an empty slot, which is
-// why symbol handle 0 is reserved.
+// why symbol handle 0 is reserved. h32 caches the low hash bits of
+// (a, b) in what would otherwise be struct padding (the entry is 24
+// bytes either way): the backward-shift delete and rehash derive an
+// entry's home slot from it with a mask instead of re-running the
+// multiply cascade per scanned entry.
 type digramEntry struct {
 	a, b uint64
 	sym  symRef
+	h32  uint32
 }
 
 // digramTable is the open-addressing index. live is the number of
@@ -74,17 +79,52 @@ func (t *digramTable) set(a, b uint64, s symRef) {
 	if t.live >= t.growAt {
 		t.rehash(2 * len(t.entries))
 	}
-	i := uint32(digramHash(a, b)) & t.mask
+	h := uint32(digramHash(a, b))
+	i := h & t.mask
 	for {
 		e := &t.entries[i]
 		if e.sym == nilSym {
-			*e = digramEntry{a: a, b: b, sym: s}
+			*e = digramEntry{a: a, b: b, sym: s, h32: h}
 			t.live++
 			return
 		}
 		if e.a == a && e.b == b {
 			e.sym = s
 			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// getOrSet is the fused probe the batch append path uses in place of a
+// get followed by a set: one walk of the probe chain either finds the
+// existing entry for (a, b) and returns its handle, or claims the first
+// empty slot for s and returns nilSym. The table contents after a miss
+// are identical to get-then-set — growth triggers on the same live/growAt
+// comparison an insert through set would have made — so the scalar and
+// batch paths evolve equal index contents from equal inputs.
+func (t *digramTable) getOrSet(a, b uint64, s symRef) symRef {
+	h := uint32(digramHash(a, b))
+	i := h & t.mask
+	for {
+		e := &t.entries[i]
+		if e.sym == nilSym {
+			if t.live >= t.growAt {
+				t.rehash(2 * len(t.entries))
+				// The key is absent (this chain just proved it); find an
+				// empty slot in the grown table and claim it.
+				i = h & t.mask
+				for t.entries[i].sym != nilSym {
+					i = (i + 1) & t.mask
+				}
+				e = &t.entries[i]
+			}
+			*e = digramEntry{a: a, b: b, sym: s, h32: h}
+			t.live++
+			return nilSym
+		}
+		if e.a == a && e.b == b {
+			return e.sym
 		}
 		i = (i + 1) & t.mask
 	}
@@ -124,7 +164,7 @@ func (t *digramTable) deleteIf(a, b uint64, s symRef) {
 		// whether the hole at i is still on e's probe chain: if the
 		// distance from the hole to j does not exceed e's own distance,
 		// e may move back into the hole.
-		home := uint32(digramHash(e.a, e.b)) & mask
+		home := e.h32 & mask
 		if (j-home)&mask >= (j-i)&mask {
 			t.entries[i] = e
 			i = j
@@ -143,7 +183,7 @@ func (t *digramTable) rehash(capacity int) {
 		if e.sym == nilSym {
 			continue
 		}
-		i := uint32(digramHash(e.a, e.b)) & t.mask
+		i := e.h32 & t.mask
 		for t.entries[i].sym != nilSym {
 			i = (i + 1) & t.mask
 		}

@@ -91,7 +91,7 @@ type Metrics struct {
 type Grammar struct {
 	// Symbol arena: chunked slabs, a bump cursor, and an intrusive
 	// freelist threaded through the next fields of freed symbols.
-	slabs   [][]symbol
+	slabs   []*[slabSize]symbol
 	symUsed uint32
 	symFree symRef
 

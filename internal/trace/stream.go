@@ -16,6 +16,20 @@ type SinkFunc func(Event)
 // Add calls f(e).
 func (f SinkFunc) Add(e Event) { f(e) }
 
+// BatchSink is a Sink that can also consume events a slice at a time.
+// Producers with events in hand (the interpreter's emission buffer, a
+// trace file replay) should prefer AddBatch: it amortizes the per-event
+// call overhead and lets builders run their batched fast path. The
+// callee must not retain the slice; AddBatch(es) is always equivalent
+// to calling Add for each element in order.
+type BatchSink interface {
+	Sink
+	AddBatch(es []Event)
+}
+
+// AddBatch appends the whole slice; Buffer is the in-memory BatchSink.
+func (b *Buffer) AddBatch(es []Event) { b.Events = append(b.Events, es...) }
+
 // Source streams path events in order without requiring the whole trace
 // in memory. Each calls yield for every event until the stream ends or
 // yield returns false, and reports how many events were yielded.

@@ -17,7 +17,7 @@ import (
 // select a strategy with BuildOptions instead of wiring to a concrete
 // type.
 type Builder interface {
-	trace.Sink
+	trace.BatchSink
 	// Events reports the number of events consumed so far.
 	Events() uint64
 	// Finish seals the artifact. instructions is the total executed
@@ -101,6 +101,13 @@ func (h *monoHandle) Add(e trace.Event) {
 	h.b.Add(e)
 }
 
+func (h *monoHandle) AddBatch(es []trace.Event) {
+	if h.start.IsZero() {
+		h.start = time.Now()
+	}
+	h.b.AddBatch(es)
+}
+
 func (h *monoHandle) Events() uint64 { return h.b.Events() }
 
 func (h *monoHandle) Finish(instructions uint64) Artifact {
@@ -134,6 +141,8 @@ type chunkedHandle struct {
 }
 
 func (h *chunkedHandle) Add(e trace.Event) { h.b.Add(e) }
+
+func (h *chunkedHandle) AddBatch(es []trace.Event) { h.b.AddBatch(es) }
 
 func (h *chunkedHandle) Events() uint64 { return h.b.Events() }
 
@@ -205,10 +214,32 @@ func init() {
 			return c, nil
 		},
 	})
+	codec.Register(codec.Format{
+		Magic: wpp2Magic,
+		Name:  "monolithic WPP v2",
+		Decode: func(br *bufio.Reader) (codec.Artifact, error) {
+			w, err := decodeBodyV2(br)
+			if err != nil {
+				return nil, err
+			}
+			return w, nil
+		},
+	})
+	codec.Register(codec.Format{
+		Magic: chunked2Magic,
+		Name:  "chunked WPP v2",
+		Decode: func(br *bufio.Reader) (codec.Artifact, error) {
+			c, err := decodeChunkedBodyV2(br)
+			if err != nil {
+				return nil, err
+			}
+			return c, nil
+		},
+	})
 }
 
-// DecodeArtifact decodes either artifact format via the codec registry,
-// returning the unified Artifact surface.
+// DecodeArtifact decodes any registered artifact format via the codec
+// registry, returning the unified Artifact surface.
 func DecodeArtifact(r io.Reader) (Artifact, error) {
 	a, err := codec.DecodeAny(r)
 	if err != nil {
@@ -216,4 +247,15 @@ func DecodeArtifact(r io.Reader) (Artifact, error) {
 	}
 	// Every format this package registers decodes to an Artifact.
 	return a.(Artifact), nil
+}
+
+// DecodeArtifactNamed is DecodeArtifact, additionally reporting the
+// registered name of the format that was read ("monolithic WPP v2"),
+// for tools that display it.
+func DecodeArtifactNamed(r io.Reader) (Artifact, string, error) {
+	a, name, err := codec.DecodeAnyNamed(r)
+	if err != nil {
+		return nil, name, err
+	}
+	return a.(Artifact), name, nil
 }

@@ -31,6 +31,8 @@ type ChunkedBuilder struct {
 	// chunking buys.
 	peakRHS int
 	metrics BuildMetrics
+	// lazyCosts: see MonoBuilder.
+	lazyCosts bool
 }
 
 // SetMetrics installs observability hooks (see BuildMetrics); nil
@@ -84,6 +86,31 @@ func (b *ChunkedBuilder) Add(e trace.Event) {
 	}
 }
 
+// AddBatch feeds a slice of events, cutting it at chunk boundaries and
+// compressing each piece through the batched SEQUITUR fast path. It is
+// equivalent to calling Add per element; distinct-path costs are derived
+// from the chunk grammars at Finish. Add and AddBatch may be mixed.
+func (b *ChunkedBuilder) AddBatch(es []trace.Event) {
+	if len(es) == 0 {
+		return
+	}
+	b.events += uint64(len(es))
+	b.metrics.EventsIngested.Add(uint64(len(es)))
+	b.lazyCosts = true
+	for len(es) > 0 {
+		n := uint64(len(es))
+		if room := b.chunkSize - b.curCount; n > room {
+			n = room
+		}
+		sequitur.AppendBatchOf(b.cur, es[:n])
+		b.curCount += n
+		es = es[n:]
+		if b.curCount >= b.chunkSize {
+			b.seal()
+		}
+	}
+}
+
 func (b *ChunkedBuilder) seal() {
 	if st := b.cur.Stats(); st.RHSSymbols > b.peakRHS {
 		b.peakRHS = st.RHSSymbols
@@ -108,7 +135,11 @@ type ChunkedWPP struct {
 	// PeakLiveRHS is the largest number of live grammar symbols during
 	// construction — the working-set bound chunking provides.
 	PeakLiveRHS int
-	costs       map[trace.Event]uint64
+	// Version selects the on-disk encoding (FormatV1 or FormatV2; zero
+	// encodes as v1). Decoding sets it to the format that was read, so
+	// the canonical re-encoding reproduces the input bytes.
+	Version uint8
+	costs   map[trace.Event]uint64
 }
 
 // Finish seals the current partial chunk and returns the artifact.
@@ -117,6 +148,9 @@ func (b *ChunkedBuilder) Finish(instructions uint64) *ChunkedWPP {
 		b.seal()
 	} else if st := b.cur.Stats(); st.RHSSymbols > b.peakRHS {
 		b.peakRHS = st.RHSSymbols
+	}
+	if b.lazyCosts {
+		fillCosts(b.costs, b.nums, b.chunks...)
 	}
 	return &ChunkedWPP{
 		Funcs:        b.funcs,

@@ -20,9 +20,13 @@ import (
 //	numChunks, then each chunk as a sequitur snapshot encoding
 var chunkedMagic = [4]byte{'W', 'P', 'C', '1'}
 
-// Encode writes the chunked WPP to out. The encoding is a deterministic
-// function of the artifact, so equal artifacts serialize byte-identically.
+// Encode writes the chunked WPP to out in the encoding Version selects.
+// The encoding is a deterministic function of the artifact, so equal
+// artifacts serialize byte-identically.
 func (c *ChunkedWPP) Encode(out io.Writer) (int64, error) {
+	if c.Version >= FormatV2 {
+		return c.encodeChunkedV2(out)
+	}
 	bw := bufio.NewWriter(out)
 	var written int64
 	var buf [binary.MaxVarintLen64]byte
@@ -95,6 +99,9 @@ func (c *ChunkedWPP) Encode(out io.Writer) (int64, error) {
 // reports the grammar bytes alone, for size comparisons against the
 // monolithic grammar.)
 func (c *ChunkedWPP) EncodedBytes() int64 {
+	if c.Version >= FormatV2 {
+		return c.encodedBytesV2()
+	}
 	n := int64(4)
 	n += int64(uvarintLen(uint64(len(c.Funcs))))
 	for _, f := range c.Funcs {
@@ -139,7 +146,7 @@ func decodeChunkedBody(br *bufio.Reader) (*ChunkedWPP, error) {
 	if numFuncs > trace.MaxFuncs {
 		return nil, fmt.Errorf("wpp: implausible function count %d", numFuncs)
 	}
-	c := &ChunkedWPP{Funcs: make([]FuncInfo, numFuncs), costs: map[trace.Event]uint64{}}
+	c := &ChunkedWPP{Funcs: make([]FuncInfo, numFuncs), Version: FormatV1, costs: map[trace.Event]uint64{}}
 	for i := range c.Funcs {
 		nameLen, err := get("name length")
 		if err != nil {
@@ -221,18 +228,25 @@ func decodeChunkedBody(br *bufio.Reader) (*ChunkedWPP, error) {
 }
 
 // DecodeAny sniffs the artifact magic via the codec registry and decodes
-// either a monolithic WPP ("WPP1") or a chunked WPP ("WPC1"); exactly one
-// of the returns is non-nil on success.
+// either a monolithic WPP ("WPP1"/"WPP2") or a chunked WPP
+// ("WPC1"/"WPC2"); exactly one of the returns is non-nil on success.
 func DecodeAny(r io.Reader) (*WPP, *ChunkedWPP, error) {
-	a, err := DecodeArtifact(r)
+	w, c, _, err := DecodeAnyNamed(r)
+	return w, c, err
+}
+
+// DecodeAnyNamed is DecodeAny, additionally reporting the registered
+// name of the format that was read.
+func DecodeAnyNamed(r io.Reader) (*WPP, *ChunkedWPP, string, error) {
+	a, name, err := DecodeArtifactNamed(r)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, name, err
 	}
 	switch t := a.(type) {
 	case *WPP:
-		return t, nil, nil
+		return t, nil, name, nil
 	case *ChunkedWPP:
-		return nil, t, nil
+		return nil, t, name, nil
 	}
-	return nil, nil, fmt.Errorf("wpp: unsupported artifact type %T", a)
+	return nil, nil, name, fmt.Errorf("wpp: unsupported artifact type %T", a)
 }

@@ -101,6 +101,26 @@ func DecodeAny(r io.Reader) (Artifact, error) {
 	return a, nil
 }
 
+// DecodeAnyNamed is DecodeAny, additionally reporting the name of the
+// format that decoded the artifact — for tools that display what they
+// read ("monolithic WPP v2 (WPP2)") without re-sniffing.
+func DecodeAnyNamed(r io.Reader) (Artifact, string, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, "", fmt.Errorf("codec: reading magic: %w", err)
+	}
+	f, ok := Lookup(m)
+	if !ok {
+		return nil, "", fmt.Errorf("codec: bad magic %q (known formats: %s)", m[:], knownNames())
+	}
+	a, err := f.Decode(br)
+	if err != nil {
+		return nil, f.Name, err
+	}
+	return a, f.Name, nil
+}
+
 func knownNames() string {
 	var s string
 	for i, f := range Formats() {

@@ -1,0 +1,178 @@
+package wpp
+
+// Fuzzers for the v2 codec layer: the WPP2/WPC2 decoders must never
+// panic or loop on arbitrary bytes, and the delta varint cost-table
+// sub-codec must round-trip every representable table.
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// goldenSeeds loads the committed golden corpus (all four formats,
+// internal/experiments/testdata/golden) as fuzzer seed inputs, so
+// fuzzing starts from real archived artifacts rather than only from
+// synthetic streams.
+func goldenSeeds(f *testing.F) [][]byte {
+	f.Helper()
+	dir := filepath.Join("..", "experiments", "testdata", "golden")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		f.Fatalf("golden corpus unavailable (regenerate with go test ./internal/experiments -run TestGoldenCorpus -update): %v", err)
+	}
+	var seeds [][]byte
+	for _, ent := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		seeds = append(seeds, data)
+	}
+	if len(seeds) == 0 {
+		f.Fatal("golden corpus is empty")
+	}
+	return seeds
+}
+
+// v2Seeds builds real v2 artifacts for the decode fuzzer corpus.
+func v2Seeds(f *testing.F) [][]byte {
+	f.Helper()
+	var seeds [][]byte
+	for _, events := range testStreams() {
+		w := buildMonoFor(events)
+		w.Version = FormatV2
+		var mb bytes.Buffer
+		if _, err := w.Encode(&mb); err != nil {
+			f.Fatal(err)
+		}
+		seeds = append(seeds, mb.Bytes())
+		c := buildChunkedFor(events, 64)
+		c.Version = FormatV2
+		var cb bytes.Buffer
+		if _, err := c.Encode(&cb); err != nil {
+			f.Fatal(err)
+		}
+		seeds = append(seeds, cb.Bytes())
+	}
+	return seeds
+}
+
+// FuzzDecodeWPP2 asserts the v2 decoders never panic on arbitrary
+// bytes, and that whatever decodes verifies, walks safely, and
+// re-encodes canonically (decode of the re-encoding is equal).
+func FuzzDecodeWPP2(f *testing.F) {
+	for _, s := range v2Seeds(f) {
+		f.Add(s)
+		f.Add(s[:len(s)/2]) // truncation
+	}
+	for _, s := range goldenSeeds(f) {
+		f.Add(s)
+	}
+	f.Add([]byte("WPP2"))
+	f.Add([]byte("WPC2"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := DecodeArtifact(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := a.Verify(); err != nil {
+			return
+		}
+		n := 0
+		a.Walk(func(trace.Event) bool {
+			n++
+			return n < 100000
+		})
+		// Canonical re-encode: whatever decoded and verified must
+		// serialize, and decoding the serialization must agree.
+		var buf bytes.Buffer
+		if _, err := a.Encode(&buf); err != nil {
+			t.Fatalf("verified artifact fails to re-encode: %v", err)
+		}
+		b, err := DecodeArtifact(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded artifact fails to decode: %v", err)
+		}
+		var buf2 bytes.Buffer
+		if _, err := b.Encode(&buf2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatal("re-encoding is not a fixed point")
+		}
+	})
+}
+
+// FuzzVarintRoundTrip drives the delta-packed cost-table sub-codec with
+// arbitrary event/cost material: encode must be read back exactly, and
+// the reconstructed dictionary must come back sorted.
+func FuzzVarintRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 0, 2, 0, 3, 0}, uint64(1))
+	f.Add([]byte{}, uint64(0))
+	f.Add([]byte{255, 255, 255, 255, 7, 7, 7}, uint64(1<<40))
+	// Golden-artifact bytes as raw event/cost material: real archived
+	// encodings exercise value spreads synthetic seeds miss.
+	for _, s := range goldenSeeds(f) {
+		if len(s) > 256 {
+			s = s[:256]
+		}
+		f.Add(s, uint64(len(s)))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte, costSeed uint64) {
+		// Derive a valid table: distinct in-range events with arbitrary
+		// costs. Pairs of bytes widen the value spread across function
+		// and path bits.
+		costs := map[trace.Event]uint64{}
+		for i := 0; i+1 < len(data); i += 2 {
+			e := trace.MakeEvent(uint32(data[i]), uint64(data[i+1])<<(data[i]%24))
+			costs[e] = costSeed >> (data[i] % 16)
+		}
+		dict := sortedCostEvents(costs)
+
+		var buf bytes.Buffer
+		e := &v2Encoder{bw: bufio.NewWriter(&buf)}
+		e.costTable(dict, costs)
+		if e.err == nil {
+			e.err = e.bw.Flush()
+		}
+		if e.err != nil {
+			t.Fatalf("encoding valid table: %v", e.err)
+		}
+		if int64(buf.Len()) != costTableSize(dict, costs) {
+			t.Fatalf("costTableSize %d != encoded %d", costTableSize(dict, costs), buf.Len())
+		}
+
+		d := &v2Decoder{br: bufio.NewReader(&buf)}
+		gotDict, gotCosts, err := d.costTable()
+		if err != nil {
+			t.Fatalf("decoding round trip: %v", err)
+		}
+		if !sort.SliceIsSorted(gotDict, func(i, j int) bool { return gotDict[i] < gotDict[j] }) {
+			t.Fatal("decoded dictionary not sorted")
+		}
+		if len(gotDict) != len(dict) {
+			t.Fatalf("dictionary length %d, want %d", len(gotDict), len(dict))
+		}
+		for i := range dict {
+			if gotDict[i] != dict[i] {
+				t.Fatalf("dictionary entry %d = %v, want %v", i, gotDict[i], dict[i])
+			}
+		}
+		if len(gotCosts) != len(costs) && !(len(costs) == 0 && len(gotCosts) == 0) {
+			t.Fatalf("cost map size %d, want %d", len(gotCosts), len(costs))
+		}
+		if len(costs) > 0 && !reflect.DeepEqual(gotCosts, costs) {
+			t.Fatalf("cost maps diverge")
+		}
+	})
+}

@@ -66,6 +66,9 @@ type ParallelChunkedBuilder struct {
 	chunks  []*sequitur.Snapshot
 	peakRHS int
 
+	// lazyCosts: see MonoBuilder.
+	lazyCosts bool
+
 	metrics BuildMetrics
 	start   time.Time
 	// workerBusy[i] is worker i's total compression time in nanoseconds,
@@ -162,9 +165,11 @@ func (b *ParallelChunkedBuilder) worker(id int) {
 		b.metrics.WorkerIdleNS.Add(uint64(t0.Sub(idleStart)))
 		b.metrics.QueueDepth.Set(int64(len(b.jobs)))
 		g.Reset()
-		for _, v := range job.events {
-			g.Append(v)
-		}
+		// The chunk slice is a ready-made batch; the batched fast path
+		// produces a grammar identical to per-event Append (the
+		// sequential ChunkedBuilder's scalar path is the oracle the
+		// differential tests compare against).
+		g.AppendBatch(job.events)
 		rhs := g.Stats().RHSSymbols
 		snap := g.Snapshot()
 		job.events = job.events[:0]
@@ -222,6 +227,40 @@ func (b *ParallelChunkedBuilder) Add(e trace.Event) {
 	}
 }
 
+// AddBatch feeds a slice of events, filling and sealing chunk buffers
+// as boundaries are crossed. Like Add it must be called from a single
+// goroutine, and not after Finish. It is equivalent to calling Add per
+// element; distinct-path costs are derived from the sealed chunk
+// grammars at Finish instead of being tracked per event. Add and
+// AddBatch may be mixed.
+func (b *ParallelChunkedBuilder) AddBatch(es []trace.Event) {
+	if b.finished {
+		panic("wpp: AddBatch after Finish")
+	}
+	if len(es) == 0 {
+		return
+	}
+	b.events += uint64(len(es))
+	b.metrics.EventsIngested.Add(uint64(len(es)))
+	b.lazyCosts = true
+	for len(es) > 0 {
+		if b.buf == nil {
+			b.buf = b.getBuf()
+		}
+		n := uint64(len(es))
+		if room := b.chunkSize - uint64(len(b.buf)); n > room {
+			n = room
+		}
+		for _, e := range es[:n] {
+			b.buf = append(b.buf, uint64(e))
+		}
+		es = es[n:]
+		if uint64(len(b.buf)) >= b.chunkSize {
+			b.seal()
+		}
+	}
+}
+
 // Events reports the number of events consumed so far.
 func (b *ParallelChunkedBuilder) Events() uint64 { return b.events }
 
@@ -249,6 +288,9 @@ func (b *ParallelChunkedBuilder) Finish(instructions uint64) *ChunkedWPP {
 	b.wg.Wait()
 	close(b.results)
 	<-b.done
+	if b.lazyCosts {
+		fillCosts(b.costs, b.nums, b.chunks...)
+	}
 	c := &ChunkedWPP{
 		Funcs:        b.funcs,
 		Chunks:       b.chunks,

@@ -39,6 +39,10 @@ type WPP struct {
 	// Instructions is the total number of IR instructions the traced
 	// execution ran.
 	Instructions uint64
+	// Version selects the on-disk encoding (FormatV1 or FormatV2; zero
+	// encodes as v1). Decoding sets it to the format that was read, so
+	// the canonical re-encoding reproduces the input bytes.
+	Version uint8
 	// costs maps each distinct event to the instruction count of its
 	// acyclic path.
 	costs map[trace.Event]uint64
@@ -55,6 +59,9 @@ type MonoBuilder struct {
 	events  uint64
 	costs   map[trace.Event]uint64
 	metrics BuildMetrics
+	// lazyCosts records that batches were ingested without per-event cost
+	// tracking, so Finish derives the cost table from the grammar.
+	lazyCosts bool
 }
 
 // SetMetrics installs observability hooks (see BuildMetrics); nil
@@ -104,6 +111,56 @@ func (b *MonoBuilder) Add(e trace.Event) {
 	}
 }
 
+// AddBatch feeds a slice of path events to the grammar through the
+// batched SEQUITUR fast path. It is equivalent to calling Add for each
+// element: the grammar evolves identically, and the cost of each
+// distinct path — tracked per event by Add — is instead derived from
+// the grammar's terminals at Finish, which prices exactly the same set
+// of distinct events. Invalid events surface at Finish rather than at
+// ingestion. Add and AddBatch may be mixed freely.
+func (b *MonoBuilder) AddBatch(es []trace.Event) {
+	if len(es) == 0 {
+		return
+	}
+	sequitur.AppendBatchOf(b.grammar, es)
+	b.events += uint64(len(es))
+	b.metrics.EventsIngested.Add(uint64(len(es)))
+	b.lazyCosts = true
+}
+
+// fillCosts prices every distinct terminal of the snapshots that has no
+// cost entry yet. The set of terminal values across a grammar's rules is
+// exactly the set of distinct values in the stream it generates, so this
+// reconstructs what per-event tracking would have recorded, in time
+// proportional to the grammar rather than the trace.
+func fillCosts(costs map[trace.Event]uint64, nums []*bl.Numbering, snaps ...*sequitur.Snapshot) {
+	for _, sn := range snaps {
+		for _, rhs := range sn.Rules {
+			for _, s := range rhs {
+				if s.IsRule() {
+					continue
+				}
+				e := trace.Event(s.Value)
+				if _, seen := costs[e]; seen {
+					continue
+				}
+				cost := uint64(1)
+				if nums != nil {
+					w, err := nums[e.Func()].PathWeight(e.Path())
+					if err != nil {
+						// An event the numbering cannot regenerate
+						// indicates a corrupted trace; surface loudly
+						// rather than mis-cost.
+						panic(fmt.Sprintf("wpp: invalid event %v: %v", e, err))
+					}
+					cost = uint64(w)
+				}
+				costs[e] = cost
+			}
+		}
+	}
+}
+
 // Events reports the number of events consumed so far.
 func (b *MonoBuilder) Events() uint64 { return b.events }
 
@@ -114,9 +171,13 @@ func (b *MonoBuilder) GrammarStats() sequitur.Stats { return b.grammar.Stats() }
 // Finish seals the WPP. instructions is the total executed instruction
 // count (interp.Stats.Instructions).
 func (b *MonoBuilder) Finish(instructions uint64) *WPP {
+	snap := b.grammar.Snapshot()
+	if b.lazyCosts {
+		fillCosts(b.costs, b.nums, snap)
+	}
 	return &WPP{
 		Funcs:        b.funcs,
-		Grammar:      b.grammar.Snapshot(),
+		Grammar:      snap,
 		Events:       b.events,
 		Instructions: instructions,
 		costs:        b.costs,
@@ -255,8 +316,11 @@ func (w *WPP) Verify() error {
 //	grammar snapshot (sequitur encoding)
 var wppMagic = [4]byte{'W', 'P', 'P', '1'}
 
-// Encode writes the WPP to w.
+// Encode writes the WPP to w in the encoding Version selects.
 func (w *WPP) Encode(out io.Writer) (int64, error) {
+	if w.Version >= FormatV2 {
+		return w.encodeV2(out)
+	}
 	bw := bufio.NewWriter(out)
 	var written int64
 	var buf [binary.MaxVarintLen64]byte
@@ -319,6 +383,9 @@ func (w *WPP) Encode(out io.Writer) (int64, error) {
 
 // EncodedSize returns the byte size Encode would produce.
 func (w *WPP) EncodedSize() int64 {
+	if w.Version >= FormatV2 {
+		return w.encodedSizeV2()
+	}
 	n := int64(4)
 	n += int64(uvarintLen(uint64(len(w.Funcs))))
 	for _, f := range w.Funcs {
@@ -361,7 +428,7 @@ func decodeBody(br *bufio.Reader) (*WPP, error) {
 	if numFuncs > trace.MaxFuncs {
 		return nil, fmt.Errorf("wpp: implausible function count %d", numFuncs)
 	}
-	w := &WPP{Funcs: make([]FuncInfo, numFuncs), costs: map[trace.Event]uint64{}}
+	w := &WPP{Funcs: make([]FuncInfo, numFuncs), Version: FormatV1, costs: map[trace.Event]uint64{}}
 	for i := range w.Funcs {
 		nameLen, err := get("name length")
 		if err != nil {
