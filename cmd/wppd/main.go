@@ -1,0 +1,92 @@
+// Command wppd is the whole-program-path trace-ingestion daemon: it
+// accepts concurrent tracer sessions over HTTP, compresses each event
+// stream online into a per-session SEQUITUR grammar, answers live
+// hot-subpath queries against the growing grammar, and seals sessions
+// into the same artifact bytes the batch tools (wppbuild) produce.
+//
+// Usage:
+//
+//	wppd [-addr :8324] [-dir artifacts/] [-max-sessions N] [-quota N]
+//	     [-max-body BYTES] [-inflight N] [-idle DUR] [-sweep DUR]
+//	     [-debug-addr :8325] [-progress DUR]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obsv"
+	"repro/internal/serve"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wppd:", err)
+	os.Exit(1)
+}
+
+func main() {
+	addr := flag.String("addr", ":8324", "listen address")
+	dir := flag.String("dir", "", "directory to persist sealed artifacts (empty = memory only)")
+	maxSessions := flag.Int("max-sessions", 1024, "max resident sessions before opens shed with 503")
+	quota := flag.Uint64("quota", 0, "per-session event quota (0 = unlimited)")
+	maxBody := flag.Int64("max-body", 8<<20, "max bytes per events frame (larger frames get 413)")
+	inflight := flag.Int("inflight", 0, "max concurrently buffered ingest frames (0 = 2*GOMAXPROCS)")
+	idle := flag.Duration("idle", 2*time.Minute, "evict sessions idle longer than this (0 = never)")
+	sweep := flag.Duration("sweep", 5*time.Second, "janitor sweep period")
+	debugAddr := flag.String("debug-addr", "", "expvar/pprof/metrics listen address (empty = off)")
+	progress := flag.Duration("progress", 0, "periodic metrics dump to stderr (0 = off)")
+	flag.Parse()
+
+	if *dir != "" {
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	reg := obsv.NewRegistry()
+	met := serve.NewMetrics(reg)
+	shutdownObsv, err := obsv.Setup(reg, *debugAddr, "wppd", *progress, os.Stderr)
+	if err != nil {
+		fatal(err)
+	}
+	defer shutdownObsv()
+
+	srv := serve.New(serve.Config{
+		MaxSessions:  *maxSessions,
+		SessionQuota: *quota,
+		MaxBodyBytes: *maxBody,
+		MaxInflight:  *inflight,
+		IdleTimeout:  *idle,
+		SweepEvery:   *sweep,
+		Dir:          *dir,
+		Metrics:      met,
+	})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "wppd: shutting down")
+		ln.Close()
+	}()
+
+	fmt.Fprintf(os.Stderr, "wppd: listening on %s (max-sessions %d, idle %s)\n",
+		ln.Addr(), *maxSessions, *idle)
+	if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed && !errors.Is(err, net.ErrClosed) {
+		fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+// Command wppload is the load generator for wppd: it replays a bundled
+// workload's captured path-event stream over N concurrent connections,
+// optionally injecting client faults (mid-stream disconnects, malformed
+// frames, duplicate seals), and writes a machine-readable throughput
+// report.
+//
+// Usage:
+//
+//	wppload [-addr http://127.0.0.1:8324] [-workload matmul] [-scale small]
+//	        [-clients 1,8,64] [-sessions N] [-batch 4096] [-chunk N]
+//	        [-format wpp1|wpp2] [-faults] [-verify-sha] [-seed 1]
+//	        [-json BENCH_serve.json] [-spawn]
+//
+// With -spawn, wppload starts an in-process daemon instead of dialing
+// -addr, so one command produces a self-contained benchmark.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/obsv"
+	"repro/internal/serve"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wppload:", err)
+	os.Exit(1)
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8324", "daemon base URL")
+	spawn := flag.Bool("spawn", false, "run an in-process daemon instead of dialing -addr")
+	workload := flag.String("workload", "matrix", "bundled workload to replay")
+	scaleFlag := flag.String("scale", "small", "workload scale: small, medium, large")
+	clientsFlag := flag.String("clients", "1,8,64", "comma-separated concurrency levels")
+	sessions := flag.Int("sessions", 0, "sessions per level (0 = one per client)")
+	batch := flag.Int("batch", 4096, "events per frame")
+	chunk := flag.Uint64("chunk", 0, "server-side chunk size (0 = monolithic)")
+	format := flag.String("format", "", "artifact format at seal: wpp1 (default) or wpp2")
+	faults := flag.Bool("faults", false, "inject disconnects, malformed frames, and double seals")
+	verifySHA := flag.Bool("verify-sha", true, "assert sealed artifacts are byte-identical to a local build")
+	seed := flag.Int64("seed", 1, "randomization seed")
+	jsonOut := flag.String("json", "", "write the report rows as JSON to this file")
+	flag.Parse()
+
+	scale, err := experiments.ParseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	var levels []int
+	for _, s := range strings.Split(*clientsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n <= 0 {
+			fatal(fmt.Errorf("bad -clients entry %q", s))
+		}
+		levels = append(levels, n)
+	}
+
+	base := *addr
+	if *spawn {
+		reg := obsv.NewRegistry()
+		srv := serve.New(serve.Config{Metrics: serve.NewMetrics(reg)})
+		defer srv.Close()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		base = ts.URL
+	}
+
+	var rows []*serve.LoadReport
+	for _, clients := range levels {
+		opts := serve.LoadOptions{
+			Workload:  *workload,
+			Scale:     scale,
+			Clients:   clients,
+			Sessions:  *sessions,
+			BatchSize: *batch,
+			Chunk:     *chunk,
+			Format:    *format,
+			Seed:      *seed,
+			VerifySHA: *verifySHA,
+		}
+		if *faults {
+			opts.Faults = serve.FaultPlan{DisconnectEvery: 5, MalformedEvery: 7, DoubleSealEvery: 3}
+		}
+		rep, err := serve.RunLoad(base, opts)
+		if err != nil {
+			fatal(err)
+		}
+		rows = append(rows, rep)
+		fmt.Printf("%-10s clients=%-3d sessions=%-4d events=%-9d sealed=%-4d %10.0f ev/s %7.2f MB/s  503s=%d errs=%d\n",
+			rep.Workload, rep.Clients, rep.Sessions, rep.EventsSent, rep.Sealed,
+			rep.EventsPerSec, rep.MBPerSec, rep.Shed503s, rep.Errors)
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wppload: wrote %s\n", *jsonOut)
+	}
+}

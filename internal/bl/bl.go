@@ -18,6 +18,7 @@ package bl
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/cfg"
 )
@@ -62,7 +63,10 @@ type Numbering struct {
 	// headers h, or ^0 if h is not a loop header.
 	entryReset []uint64
 
-	// pathCache memoizes Regenerate results.
+	// pathCache memoizes Regenerate results, guarded by cacheMu so a
+	// Numbering can be shared by concurrent readers (the ingestion
+	// daemon prices paths for many sessions off one compiled program).
+	cacheMu   sync.Mutex
 	pathCache map[uint64][]cfg.BlockID
 }
 
@@ -219,11 +223,14 @@ func (n *Numbering) HeaderReset(h cfg.BlockID) uint64 { return n.entryReset[h] }
 // Regenerate maps a path ID back to the sequence of basic blocks the path
 // visits. The sequence starts at the function entry or at a loop header
 // and ends at the exit or at the source of a back edge. Results are
-// memoized; the returned slice must not be mutated.
+// memoized; the returned slice must not be mutated. Safe for concurrent
+// use.
 func (n *Numbering) Regenerate(path uint64) ([]cfg.BlockID, error) {
 	if path >= n.NumPaths {
 		return nil, fmt.Errorf("bl: %s: path ID %d out of range [0,%d)", n.Graph.Name, path, n.NumPaths)
 	}
+	n.cacheMu.Lock()
+	defer n.cacheMu.Unlock()
 	if seq, ok := n.pathCache[path]; ok {
 		return seq, nil
 	}

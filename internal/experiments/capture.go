@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bl"
+	"repro/internal/interp"
+	"repro/internal/trace"
+	"repro/internal/wlc"
+	"repro/internal/workloads"
+)
+
+// Capture is one traced workload run reduced to what a replay client
+// needs: the raw event stream and the instruction total, plus the
+// program's function table and numberings for local reference builds.
+type Capture struct {
+	Workload     workloads.Workload
+	Names        []string
+	Nums         []*bl.Numbering
+	Events       []trace.Event
+	Instructions uint64
+	Result       int64
+}
+
+// CaptureWorkload runs one bundled workload at the given scale under
+// path tracing and returns the captured stream. It is the load
+// generator's feed: wppload and the serve test suites replay these
+// events over HTTP and compare the daemon's artifact to a local build
+// of the same capture.
+func CaptureWorkload(name string, scale Scale) (*Capture, error) {
+	w, err := workloads.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := wlc.Compile(w.Source)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	c := &Capture{Workload: w}
+	m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: trace.SinkFunc(func(e trace.Event) {
+		c.Events = append(c.Events, e)
+	})})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	c.Names = make([]string, len(prog.Funcs))
+	for i, f := range prog.Funcs {
+		c.Names[i] = f.Name
+	}
+	c.Nums = m.Numberings()
+	res, err := m.Run("main", scale.Arg(w))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	c.Result = res
+	c.Instructions = m.Stats().Instructions
+	return c, nil
+}

@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// fuzzTranscript renders a deterministic op sequence for the seed corpus:
+// each op is one byte selecting the verb plus one byte of argument.
+func fuzzTranscript(ops ...byte) []byte { return ops }
+
+// FuzzSessionProtocol drives the daemon's full HTTP surface with an
+// arbitrary byte string interpreted as an operation transcript — opens,
+// valid frames, garbage frames, seals, hot queries, evictions, in any
+// interleaving against any session. The daemon must never panic, every
+// response must carry a documented status, and the session table must
+// stay consistent (healthz always answers 200).
+func FuzzSessionProtocol(f *testing.F) {
+	// Seeds: the happy path, lifecycle conflicts, garbage frames, and
+	// ops against unknown sessions.
+	f.Add(fuzzTranscript(0, 0, 1, 0, 1, 1, 3, 0, 4, 0, 5, 0))       // open, ingest, seal, hot, evict
+	f.Add(fuzzTranscript(0, 1, 2, 3, 1, 0, 3, 0, 3, 0))             // chunked open, garbage, seal, double seal
+	f.Add(fuzzTranscript(1, 0, 3, 5, 4, 9, 5, 2))                   // everything against missing sessions
+	f.Add(fuzzTranscript(0, 0, 1, 7, 4, 0, 1, 3, 4, 0, 3, 0, 4, 0)) // live queries interleaved with ingest
+	f.Add(bytes.Repeat(fuzzTranscript(0, 0), 40))                   // open flood into the session cap
+
+	// A small pool of valid frames, varied by the argument byte. Events
+	// use low function IDs and paths so anonymous sessions accept them.
+	frames := make([][]byte, 8)
+	for v := range frames {
+		var evs []trace.Event
+		for i := 0; i < 5+v*3; i++ {
+			e, err := trace.NewEvent(uint32((i+v)%7), uint64(i%13))
+			if err != nil {
+				f.Fatal(err)
+			}
+			evs = append(evs, e)
+		}
+		frames[v] = EncodeFrame(evs)
+	}
+
+	f.Fuzz(func(t *testing.T, transcript []byte) {
+		srv := New(Config{
+			MaxSessions:  16,
+			SessionQuota: 1 << 16,
+			MaxBodyBytes: 1 << 16,
+		})
+		defer srv.Close()
+		h := srv.Handler()
+
+		do := func(method, path, ctype string, body []byte) *httptest.ResponseRecorder {
+			req := httptest.NewRequest(method, path, bytes.NewReader(body))
+			if ctype != "" {
+				req.Header.Set("Content-Type", ctype)
+			}
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req) // must not panic, whatever the transcript
+			return rec
+		}
+
+		var ids []string
+		pick := func(arg byte) string {
+			if len(ids) == 0 || int(arg)%4 == 3 {
+				return "s-bogus" // exercise the unknown-session path too
+			}
+			return ids[int(arg)%len(ids)]
+		}
+
+		for i := 0; i+1 < len(transcript); i += 2 {
+			op, arg := transcript[i], transcript[i+1]
+			switch op % 6 {
+			case 0: // open (argument selects strategy)
+				body := []byte(`{}`)
+				if arg%3 == 1 {
+					body = []byte(`{"chunk": 64}`)
+				} else if arg%3 == 2 {
+					body = []byte(`{"format": "wpp2"}`)
+				}
+				rec := do("POST", "/v1/sessions", "application/json", body)
+				if rec.Code == http.StatusCreated {
+					var info SessionInfo
+					if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+						t.Fatalf("open response not JSON: %v", err)
+					}
+					ids = append(ids, info.ID)
+				} else if rec.Code != http.StatusServiceUnavailable {
+					t.Fatalf("open answered %d", rec.Code)
+				}
+			case 1: // valid frame
+				do("POST", "/v1/sessions/"+pick(arg)+"/events", "application/octet-stream",
+					frames[int(arg)%len(frames)])
+			case 2: // garbage frame: raw transcript bytes as the body
+				end := min(i+2+int(arg), len(transcript))
+				do("POST", "/v1/sessions/"+pick(arg)+"/events", "application/octet-stream",
+					transcript[i+2:end])
+			case 3: // seal
+				do("POST", "/v1/sessions/"+pick(arg)+"/seal", "application/json", []byte(`{"instructions": 1000}`))
+			case 4: // hot query
+				do("GET", "/v1/sessions/"+pick(arg)+"/hot?k=3&threshold=0.01", "", nil)
+			case 5: // evict
+				do("DELETE", "/v1/sessions/"+pick(arg), "", nil)
+			}
+
+			// Whole-protocol invariant: liveness never degrades.
+			if rec := do("GET", "/healthz", "", nil); rec.Code != http.StatusOK {
+				t.Fatalf("healthz answered %d mid-transcript", rec.Code)
+			}
+		}
+	})
+}

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"time"
+
+	"repro/internal/obsv"
+	iwpp "repro/internal/wpp"
+)
+
+// Metrics is the daemon's observability surface, threaded through the
+// session registry and every handler. All fields follow the obsv
+// contract: nil metrics are no-ops, so a Server built without a registry
+// runs uninstrumented at full speed.
+type Metrics struct {
+	// Session lifecycle.
+	SessionsOpen    *obsv.Gauge   // currently resident (open + sealed)
+	SessionsOpened  *obsv.Counter // total opened
+	SessionsSealed  *obsv.Counter // total sealed
+	SessionsEvicted *obsv.Counter // total evicted (idle or DELETE)
+
+	// Ingest path.
+	EventsIngested *obsv.Counter   // events accepted into builders
+	IngestRequests *obsv.Counter   // event POSTs admitted past the queue
+	IngestRejected *obsv.Counter   // event POSTs shed by backpressure (503)
+	IngestErrors   *obsv.Counter   // event POSTs refused as client errors (4xx)
+	QueueDepth     *obsv.Gauge     // ingest requests currently buffered
+	IngestLatency  *obsv.Histogram // wall time per accepted event POST
+
+	// Query + seal path.
+	HotQueries    *obsv.Counter
+	HotLatency    *obsv.Histogram
+	SealLatency   *obsv.Histogram
+	ArtifactBytes *obsv.Counter // encoded artifact bytes produced by seals
+
+	// HeapBytes samples runtime heap allocation at every janitor sweep,
+	// so a soak run can watch steady-state memory from the obsv snapshot.
+	HeapBytes *obsv.Gauge
+
+	// Build carries the per-builder instrumentation shared by every
+	// session's compressor.
+	Build *iwpp.BuildMetrics
+}
+
+// NewMetrics registers the daemon's metrics on r (nil r yields a fully
+// no-op Metrics).
+func NewMetrics(r *obsv.Registry) *Metrics {
+	lat := []time.Duration{
+		50 * time.Microsecond,
+		250 * time.Microsecond,
+		time.Millisecond,
+		5 * time.Millisecond,
+		25 * time.Millisecond,
+		100 * time.Millisecond,
+		500 * time.Millisecond,
+		2 * time.Second,
+	}
+	return &Metrics{
+		SessionsOpen:    r.Gauge("serve_sessions_open"),
+		SessionsOpened:  r.Counter("serve_sessions_opened_total"),
+		SessionsSealed:  r.Counter("serve_sessions_sealed_total"),
+		SessionsEvicted: r.Counter("serve_sessions_evicted_total"),
+		EventsIngested:  r.Counter("serve_events_ingested_total"),
+		IngestRequests:  r.Counter("serve_ingest_requests_total"),
+		IngestRejected:  r.Counter("serve_ingest_rejected_total"),
+		IngestErrors:    r.Counter("serve_ingest_errors_total"),
+		QueueDepth:      r.Gauge("serve_ingest_queue_depth"),
+		IngestLatency:   r.Histogram("serve_ingest_seconds", lat),
+		HotQueries:      r.Counter("serve_hot_queries_total"),
+		HotLatency:      r.Histogram("serve_hot_seconds", lat),
+		SealLatency:     r.Histogram("serve_seal_seconds", lat),
+		ArtifactBytes:   r.Counter("serve_artifact_bytes_total"),
+		HeapBytes:       r.Gauge("serve_heap_alloc_bytes"),
+		Build:           iwpp.NewBuildMetrics(r),
+	}
+}
+
+// orNoop returns a usable metric set whether or not one was configured.
+func (m *Metrics) orNoop() *Metrics {
+	if m == nil {
+		return &Metrics{}
+	}
+	return m
+}

@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obsv"
+	"repro/internal/trace"
+)
+
+// ingestRetry pushes one frame, retrying 503s — the protocol's documented
+// shed-load signal — with a short backoff. Any other failure is returned.
+func ingestRetry(c *Client, id string, events []trace.Event) error {
+	for {
+		_, err := c.Ingest(id, events)
+		if err == nil {
+			return nil
+		}
+		if IsStatus(err, http.StatusServiceUnavailable) {
+			time.Sleep(500 * time.Microsecond)
+			continue
+		}
+		return err
+	}
+}
+
+// TestConcurrentSessions drives 64 concurrent sessions through the full
+// lifecycle — open, interleaved ingest and live hot queries, seal,
+// artifact fetch, evict — with a fault cohort (mid-stream disconnects,
+// malformed frames, double seals) mixed in. Run under -race it is the
+// daemon's central isolation proof: every clean session must seal to the
+// byte-identical artifact no matter what its neighbors do.
+func TestConcurrentSessions(t *testing.T) {
+	const sessions = 64
+
+	reg := obsv.NewRegistry()
+	met := NewMetrics(reg)
+	_, c := newTestServer(t, Config{MaxSessions: sessions + 8, Metrics: met})
+
+	// Two workloads with different grammars, alternated across the
+	// cohort so corruption across sessions cannot cancel out.
+	names := []string{"matrix", "queens"}
+	caps := map[string][]byte{} // local reference artifact per workload
+	insns := map[string]uint64{}
+	for _, n := range names {
+		cap := capture(t, n)
+		caps[n] = localBuild(t, cap, 0, 1)
+		insns[n] = cap.Instructions
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(n) * 1337))
+			name := names[n%len(names)]
+			cap := capture(t, name)
+			cl := c // Client is stateless; share it
+			info, err := cl.Open(OpenRequest{Workload: name})
+			if err != nil {
+				t.Errorf("session %d open: %v", n, err)
+				return
+			}
+			id := info.ID
+
+			faulty := n%8 == 3      // malformed-frame cohort
+			disconnect := n%8 == 5  // mid-stream abandon cohort
+			doubleSeal := n%8 == 7  // duplicate-seal cohort
+
+			batch := 512 + rng.Intn(4096)
+			total := len(cap.Events)
+			if disconnect {
+				total = rng.Intn(total)
+			}
+			for off := 0; off < total; off += batch {
+				end := min(off+batch, total)
+				if faulty && off > 0 && rng.Intn(4) == 0 {
+					// The poison frame may be shed by backpressure like any
+					// other; once admitted it must answer 400.
+					for {
+						_, err := cl.IngestRaw(id, []byte("WPPX poison"))
+						if IsStatus(err, http.StatusServiceUnavailable) {
+							time.Sleep(500 * time.Microsecond)
+							continue
+						}
+						if !IsStatus(err, http.StatusBadRequest) {
+							t.Errorf("session %d: malformed frame got %v, want 400", n, err)
+						}
+						break
+					}
+				}
+				if err := ingestRetry(cl, id, cap.Events[off:end]); err != nil {
+					t.Errorf("session %d ingest at %d: %v", n, off, err)
+					return
+				}
+				if rng.Intn(3) == 0 {
+					if _, err := cl.Hot(id, HotQuery{K: 3, Threshold: 0.05}); err != nil {
+						t.Errorf("session %d live hot: %v", n, err)
+						return
+					}
+				}
+			}
+			if disconnect {
+				// Abandon without sealing; explicit evict stands in for
+				// the janitor so the table stays bounded under -race.
+				if err := cl.Evict(id); err != nil {
+					t.Errorf("session %d evict: %v", n, err)
+				}
+				return
+			}
+			res, err := cl.Seal(id, insns[name])
+			if err != nil {
+				t.Errorf("session %d seal: %v", n, err)
+				return
+			}
+			if doubleSeal {
+				if _, err := cl.Seal(id, insns[name]); !IsStatus(err, http.StatusConflict) {
+					t.Errorf("session %d: double seal got %v, want 409", n, err)
+				}
+			}
+			got, err := cl.Artifact(id)
+			if err != nil {
+				t.Errorf("session %d artifact: %v", n, err)
+				return
+			}
+			want := caps[name]
+			if string(got) != string(want) {
+				t.Errorf("session %d (%s): artifact diverged under concurrency (%d vs %d bytes, sha %s)",
+					n, name, len(got), len(want), res.SHA256)
+			}
+			if err := cl.Evict(id); err != nil {
+				t.Errorf("session %d final evict: %v", n, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Every session was evicted (sealed or abandoned); nothing may leak.
+	if g := met.SessionsOpen.Value(); g != 0 {
+		t.Errorf("SessionsOpen gauge = %d after full drain, want 0", g)
+	}
+	if got := met.SessionsOpened.Value(); got != sessions {
+		t.Errorf("SessionsOpened = %d, want %d", got, sessions)
+	}
+}
+
+// TestLoadGeneratorWithFaults runs the shipping load generator — the same
+// code path wppload uses — against an in-process daemon with every fault
+// knob on and byte-identity verification enabled. RunLoad returns an
+// error if any sealed artifact diverges from the local build.
+func TestLoadGeneratorWithFaults(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	rep, err := RunLoad(c.Base, LoadOptions{
+		Workload:  "matrix",
+		Clients:   8,
+		Sessions:  24,
+		BatchSize: 2048,
+		Faults:    FaultPlan{DisconnectEvery: 5, MalformedEvery: 7, DoubleSealEvery: 3},
+		Seed:      42,
+		VerifySHA: true,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("load run hit %d unexpected errors", rep.Errors)
+	}
+	if rep.ShaMismatch != 0 {
+		t.Errorf("%d of %d artifacts diverged", rep.ShaMismatch, rep.ShaChecked)
+	}
+	if rep.Sealed == 0 || rep.Disconnects == 0 || rep.Injected400s == 0 || rep.Conflict409s == 0 {
+		t.Errorf("fault plan did not exercise all paths: %+v", rep)
+	}
+}
+
+// TestBackpressureUnderConcurrency hammers a deliberately tiny ingest
+// queue and session table: the daemon must shed load with 503, never
+// block forever or fall over, and every shed request must be retryable.
+func TestBackpressureUnderConcurrency(t *testing.T) {
+	reg := obsv.NewRegistry()
+	met := NewMetrics(reg)
+	_, c := newTestServer(t, Config{MaxSessions: 4, MaxInflight: 1, Metrics: met})
+
+	rep, err := RunLoad(c.Base, LoadOptions{
+		Workload:  "matrix",
+		Clients:   8,
+		Sessions:  16,
+		BatchSize: 1024,
+		Seed:      7,
+		VerifySHA: true,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("backpressure produced hard errors: %+v", rep)
+	}
+	if rep.Sealed != uint64(rep.Sessions) {
+		t.Errorf("only %d of %d sessions sealed", rep.Sealed, rep.Sessions)
+	}
+	// With 8 clients racing 4 session slots and one ingest slot, load
+	// shedding must actually fire for the test to mean anything. (Whether
+	// a given 503 came from the table or the ingest queue depends on
+	// scheduling; either proves the daemon sheds instead of blocking.)
+	if rep.Shed503s == 0 {
+		t.Errorf("no 503s despite MaxSessions=4, MaxInflight=1, 8 clients")
+	}
+	if g := reg.Snapshot().Gauges["serve_ingest_queue_depth"]; g != 0 {
+		t.Errorf("ingest queue depth gauge = %d after drain, want 0", g)
+	}
+}

@@ -1,0 +1,575 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/bl"
+	"repro/internal/hotpath"
+	"repro/internal/interp"
+	"repro/internal/trace"
+	"repro/internal/wlc"
+	"repro/internal/workloads"
+	iwpp "repro/internal/wpp"
+)
+
+// Config tunes the daemon's resource policies. The zero value is usable;
+// every limit has a production-shaped default.
+type Config struct {
+	// MaxSessions bounds resident sessions (open + sealed). Opens beyond
+	// it shed load with 503. Default 1024.
+	MaxSessions int
+	// SessionQuota bounds events per session; frames that would exceed
+	// it are refused with 429. 0 = unlimited.
+	SessionQuota uint64
+	// MaxBodyBytes bounds one events frame; larger bodies get 413.
+	// Default 8 MiB (~1M varint events).
+	MaxBodyBytes int64
+	// MaxInflight bounds concurrently buffered ingest frames server-wide
+	// — the daemon's peak ingest memory is MaxInflight*MaxBodyBytes
+	// regardless of client count; excess frames get 503. Default
+	// 2*GOMAXPROCS.
+	MaxInflight int
+	// IdleTimeout evicts sessions (open or sealed) with no activity for
+	// this long. 0 disables idle eviction.
+	IdleTimeout time.Duration
+	// SweepEvery is the janitor period; default 5s (only meaningful with
+	// IdleTimeout > 0).
+	SweepEvery time.Duration
+	// Dir, when set, persists every sealed artifact as Dir/<id>.wpp.
+	Dir string
+	// Metrics instruments the daemon; nil runs uninstrumented.
+	Metrics *Metrics
+	// Now is the clock (tests inject a fake); nil means time.Now.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.SweepEvery <= 0 {
+		c.SweepEvery = 5 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// sessionProgram caches one bundled workload's compilation: sessions
+// opened on the same workload share the function table and Ball–Larus
+// numberings (all immutable after construction, so sharing is safe).
+type sessionProgram struct {
+	names    []string
+	nums     []*bl.Numbering
+	numPaths []uint64 // per-function path counts for ingest validation
+}
+
+// Server is the trace-ingestion daemon: an http.Handler plus the session
+// table, backpressure machinery, and the idle-eviction janitor.
+type Server struct {
+	cfg Config
+	met *Metrics
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextID   uint64
+	closed   bool
+
+	compileMu sync.Mutex
+	compiled  map[string]*sessionProgram
+
+	ingestSem chan struct{}
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+	closeOnce   sync.Once
+}
+
+// New returns a running Server (its janitor goroutine is live when idle
+// eviction is configured). Close releases everything.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:         cfg,
+		met:         cfg.Metrics.orNoop(),
+		sessions:    map[string]*session{},
+		compiled:    map[string]*sessionProgram{},
+		ingestSem:   make(chan struct{}, cfg.MaxInflight),
+		janitorStop: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	go s.janitor()
+	return s
+}
+
+// Close stops the janitor and evicts every resident session, draining
+// their builders. Safe to call more than once.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.janitorStop)
+		<-s.janitorDone
+		s.mu.Lock()
+		s.closed = true
+		all := make([]*session, 0, len(s.sessions))
+		for _, ss := range s.sessions {
+			all = append(all, ss)
+		}
+		s.sessions = map[string]*session{}
+		s.mu.Unlock()
+		for _, ss := range all {
+			if ss.evict() {
+				s.met.SessionsEvicted.Inc()
+				s.met.SessionsOpen.Add(-1)
+			}
+		}
+	})
+}
+
+// janitor periodically evicts idle sessions and samples the heap gauge.
+func (s *Server) janitor() {
+	defer close(s.janitorDone)
+	t := time.NewTicker(s.cfg.SweepEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case <-t.C:
+			s.Sweep()
+		}
+	}
+}
+
+// Sweep runs one janitor pass: evict sessions idle past the deadline and
+// refresh the heap gauge. Exposed so tests (and operators via SIGQUIT
+// handlers, if they wish) can force a deterministic pass.
+func (s *Server) Sweep() int {
+	now := s.cfg.Now()
+	var victims []*session
+	s.mu.Lock()
+	for id, ss := range s.sessions {
+		if s.cfg.IdleTimeout > 0 && ss.idle(now) > s.cfg.IdleTimeout {
+			delete(s.sessions, id)
+			victims = append(victims, ss)
+		}
+	}
+	s.mu.Unlock()
+	for _, ss := range victims {
+		if ss.evict() {
+			s.met.SessionsEvicted.Inc()
+			s.met.SessionsOpen.Add(-1)
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.met.HeapBytes.Set(int64(ms.HeapAlloc))
+	return len(victims)
+}
+
+// Handler returns the daemon's HTTP surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.handleOpen)
+	mux.HandleFunc("GET /v1/sessions", s.handleList)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleInfo)
+	mux.HandleFunc("POST /v1/sessions/{id}/events", s.handleEvents)
+	mux.HandleFunc("POST /v1/sessions/{id}/seal", s.handleSeal)
+	mux.HandleFunc("GET /v1/sessions/{id}/hot", s.handleHot)
+	mux.HandleFunc("GET /v1/sessions/{id}/artifact", s.handleArtifact)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleEvict)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone = nothing to do
+}
+
+func writeErr(w http.ResponseWriter, err *apiError) {
+	writeJSON(w, err.status, errorBody{Error: err.msg})
+}
+
+func (s *Server) lookup(r *http.Request) (*session, *apiError) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	ss := s.sessions[id]
+	s.mu.Unlock()
+	if ss == nil {
+		return nil, errf(http.StatusNotFound, "no session %q", id)
+	}
+	return ss, nil
+}
+
+// openProgram compiles a bundled workload once and caches its session
+// view; the numberings are shared by every session on that workload.
+func (s *Server) openProgram(name string) (*sessionProgram, *apiError) {
+	s.compileMu.Lock()
+	defer s.compileMu.Unlock()
+	if p, ok := s.compiled[name]; ok {
+		return p, nil
+	}
+	w, err := workloads.ByName(name)
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "%v", err)
+	}
+	prog, err := wlc.Compile(w.Source)
+	if err != nil {
+		return nil, errf(http.StatusInternalServerError, "compiling %s: %v", name, err)
+	}
+	m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: trace.SinkFunc(func(trace.Event) {})})
+	if err != nil {
+		return nil, errf(http.StatusInternalServerError, "numbering %s: %v", name, err)
+	}
+	names := make([]string, len(prog.Funcs))
+	for i, f := range prog.Funcs {
+		names[i] = f.Name
+	}
+	nums := m.Numberings()
+	p := &sessionProgram{names: names, nums: nums, numPaths: numPathsOf(nums)}
+	s.compiled[name] = p
+	return p, nil
+}
+
+func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
+	var req OpenRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+			writeErr(w, errf(http.StatusBadRequest, "parsing open request: %v", err))
+			return
+		}
+	}
+	var format uint8 = iwpp.FormatV1
+	switch req.Format {
+	case "", "wpp1":
+	case "wpp2":
+		format = iwpp.FormatV2
+	default:
+		writeErr(w, errf(http.StatusBadRequest, "unknown format %q (want wpp1 or wpp2)", req.Format))
+		return
+	}
+
+	var names []string
+	var numPaths []uint64
+	var nums []*bl.Numbering
+	if req.Workload != "" {
+		p, aerr := s.openProgram(req.Workload)
+		if aerr != nil {
+			writeErr(w, aerr)
+			return
+		}
+		names, nums, numPaths = p.names, p.nums, p.numPaths
+	}
+
+	builder := iwpp.New(names, nums, iwpp.BuildOptions{
+		ChunkSize: req.Chunk,
+		Workers:   req.Workers,
+		Metrics:   s.met.Build,
+	})
+	ss := &session{
+		workload: req.Workload,
+		scale:    req.Scale,
+		chunk:    req.Chunk,
+		workers:  req.Workers,
+		format:   format,
+		quota:    s.cfg.SessionQuota,
+		numPaths: numPaths,
+		builder:  builder,
+	}
+	ss.touch(s.cfg.Now())
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		builder.Finish(0)
+		writeErr(w, errf(http.StatusServiceUnavailable, "server shutting down"))
+		return
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		builder.Finish(0) // drain the pipeline we just created
+		writeErr(w, errf(http.StatusServiceUnavailable,
+			"session table full (%d resident); retry later or evict", s.cfg.MaxSessions))
+		return
+	}
+	s.nextID++
+	ss.id = fmt.Sprintf("s-%06d", s.nextID)
+	s.sessions[ss.id] = ss
+	s.mu.Unlock()
+
+	s.met.SessionsOpened.Inc()
+	s.met.SessionsOpen.Add(1)
+	writeJSON(w, http.StatusCreated, ss.info())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	all := make([]*session, 0, len(s.sessions))
+	for _, ss := range s.sessions {
+		all = append(all, ss)
+	}
+	s.mu.Unlock()
+	res := ListResult{Sessions: make([]SessionInfo, 0, len(all))}
+	for _, ss := range all {
+		res.Sessions = append(res.Sessions, ss.info())
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	ss, aerr := s.lookup(r)
+	if aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	writeJSON(w, http.StatusOK, ss.info())
+}
+
+// eventBufPool recycles decode buffers across ingest frames.
+var eventBufPool = sync.Pool{
+	New: func() any {
+		b := make([]trace.Event, 0, 16384)
+		return &b
+	},
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	// Bounded ingest queue: admission is a non-blocking semaphore
+	// acquire, so when every slot holds an in-flight frame the server
+	// sheds load with 503 instead of buffering without bound.
+	select {
+	case s.ingestSem <- struct{}{}:
+	default:
+		s.met.IngestRejected.Inc()
+		writeErr(w, errf(http.StatusServiceUnavailable,
+			"ingest queue full (%d frames in flight)", s.cfg.MaxInflight))
+		return
+	}
+	s.met.QueueDepth.Add(1)
+	start := time.Now()
+	defer func() {
+		s.met.QueueDepth.Add(-1)
+		<-s.ingestSem
+		s.met.IngestLatency.Observe(time.Since(start))
+	}()
+	s.met.IngestRequests.Inc()
+
+	ss, aerr := s.lookup(r)
+	if aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+
+	// Frames are transactional: decode and validate the whole body
+	// before any event reaches the builder. A disconnect or malformed
+	// tail therefore never leaves a half-applied frame behind.
+	bufp := eventBufPool.Get().(*[]trace.Event)
+	defer func() {
+		*bufp = (*bufp)[:0]
+		eventBufPool.Put(bufp)
+	}()
+	events, aerr := decodeFrame(w, r, s.cfg.MaxBodyBytes, ss.checkEvent, (*bufp)[:0])
+	*bufp = events[:0]
+	if aerr != nil {
+		s.met.IngestErrors.Inc()
+		writeErr(w, aerr)
+		return
+	}
+	res, aerr := ss.ingest(events, s.cfg.Now())
+	if aerr != nil {
+		s.met.IngestErrors.Inc()
+		writeErr(w, aerr)
+		return
+	}
+	s.met.EventsIngested.Add(res.Accepted)
+	writeJSON(w, http.StatusOK, res)
+}
+
+// decodeFrame reads one WPT1 frame from the request, mapping each
+// failure mode to its protocol status: oversized body 413, bad magic /
+// truncation / out-of-range events 400.
+func decodeFrame(w http.ResponseWriter, r *http.Request, maxBytes int64, check func(trace.Event) error, buf []trace.Event) ([]trace.Event, *apiError) {
+	body := http.MaxBytesReader(w, r.Body, maxBytes)
+	src, err := trace.NewReaderSource(body)
+	if err != nil {
+		return nil, frameError(err)
+	}
+	var checkErr error
+	_, err = src.Each(func(e trace.Event) bool {
+		if checkErr = check(e); checkErr != nil {
+			return false
+		}
+		buf = append(buf, e)
+		return true
+	})
+	if err != nil {
+		return nil, frameError(err)
+	}
+	if checkErr != nil {
+		return nil, frameError(checkErr)
+	}
+	return buf, nil
+}
+
+func frameError(err error) *apiError {
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.As(err, &tooBig):
+		return errf(http.StatusRequestEntityTooLarge, "frame exceeds %d bytes", tooBig.Limit)
+	case errors.Is(err, trace.ErrBadMagic),
+		errors.Is(err, trace.ErrTruncated),
+		errors.Is(err, trace.ErrEventRange):
+		return errf(http.StatusBadRequest, "%v", err)
+	default:
+		// Anything else while reading a client body (connection drop,
+		// stray varint overflow) is still the client's frame failing,
+		// not server state.
+		return errf(http.StatusBadRequest, "reading frame: %v", err)
+	}
+}
+
+func (s *Server) handleSeal(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	ss, aerr := s.lookup(r)
+	if aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	var req SealRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+			writeErr(w, errf(http.StatusBadRequest, "parsing seal request: %v", err))
+			return
+		}
+	}
+	res, aerr := ss.seal(req, s.cfg.Now())
+	if aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	s.met.SessionsSealed.Inc()
+	s.met.ArtifactBytes.Add(uint64(res.ArtifactBytes))
+	s.met.SealLatency.Observe(time.Since(start))
+	if s.cfg.Dir != "" {
+		ss.mu.Lock()
+		enc := ss.encoded
+		ss.mu.Unlock()
+		path := filepath.Join(s.cfg.Dir, ss.id+".wpp")
+		if err := os.WriteFile(path, enc, 0o644); err != nil {
+			writeErr(w, errf(http.StatusInternalServerError, "persisting artifact: %v", err))
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleHot(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	ss, aerr := s.lookup(r)
+	if aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	q := r.URL.Query()
+	opts := hotpath.Options{MinLen: 4, MaxLen: 16, Threshold: 0.01}
+	k := 20
+	var perr *apiError
+	getInt := func(name string, dst *int) {
+		if v := q.Get(name); v != "" && perr == nil {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				perr = errf(http.StatusBadRequest, "bad %s: %v", name, err)
+				return
+			}
+			*dst = n
+		}
+	}
+	getInt("min", &opts.MinLen)
+	getInt("max", &opts.MaxLen)
+	getInt("k", &k)
+	if v := q.Get("threshold"); v != "" && perr == nil {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			perr = errf(http.StatusBadRequest, "bad threshold: %v", err)
+		} else {
+			opts.Threshold = f
+		}
+	}
+	if perr != nil {
+		writeErr(w, perr)
+		return
+	}
+	res, aerr := ss.hotQuery(opts, k)
+	if aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	s.met.HotQueries.Inc()
+	s.met.HotLatency.Observe(time.Since(start))
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	ss, aerr := s.lookup(r)
+	if aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	enc, aerr := ss.artifactBytes()
+	if aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(enc)))
+	w.Write(enc) //nolint:errcheck // client gone = nothing to do
+}
+
+func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	ss := s.sessions[id]
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	if ss == nil {
+		writeErr(w, errf(http.StatusNotFound, "no session %q", id))
+		return
+	}
+	if ss.evict() {
+		s.met.SessionsEvicted.Inc()
+		s.met.SessionsOpen.Add(-1)
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	n := len(s.sessions)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, Health{Status: "ok", Sessions: n})
+}
+
+// SessionCount reports resident sessions (open + sealed).
+func (s *Server) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}

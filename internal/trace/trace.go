@@ -14,8 +14,25 @@ import (
 	"bytes"
 	"compress/flate"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+)
+
+// Typed stream errors. Decode paths wrap these sentinels so consumers of
+// untrusted input — wppd's ingest handlers above all — can map malformed
+// wire data to a client error (HTTP 400) instead of treating it like an
+// internal fault. Match with errors.Is.
+var (
+	// ErrBadMagic reports a stream that does not start with the WPT1
+	// trace magic.
+	ErrBadMagic = errors.New("bad trace magic")
+	// ErrTruncated reports a stream that ends mid-event (a varint cut
+	// short, e.g. a batch frame whose connection dropped mid-flight).
+	ErrTruncated = errors.New("truncated trace")
+	// ErrEventRange reports an event value no Ball–Larus numbering could
+	// have produced (function or path component out of range).
+	ErrEventRange = errors.New("event out of range")
 )
 
 // PathBits is the number of low bits of an Event holding the path ID.
@@ -33,10 +50,10 @@ type Event uint64
 // have produced; internally-validated numbering code uses MakeEvent.
 func NewEvent(fn uint32, path uint64) (Event, error) {
 	if fn >= MaxFuncs {
-		return 0, fmt.Errorf("trace: function ID %d out of range (max %d)", fn, MaxFuncs-1)
+		return 0, fmt.Errorf("trace: %w: function ID %d out of range (max %d)", ErrEventRange, fn, MaxFuncs-1)
 	}
 	if path >= 1<<PathBits {
-		return 0, fmt.Errorf("trace: path ID %d out of range (max %d)", path, uint64(1)<<PathBits-1)
+		return 0, fmt.Errorf("trace: %w: path ID %d out of range (max %d)", ErrEventRange, path, uint64(1)<<PathBits-1)
 	}
 	return Event(uint64(fn)<<PathBits | path), nil
 }
@@ -127,22 +144,35 @@ func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReader(r)
 	var m [4]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("trace: %w: reading magic: %v", ErrTruncated, err)
+		}
 		return nil, fmt.Errorf("trace: reading magic: %w", err)
 	}
 	if m != traceMagic {
-		return nil, fmt.Errorf("trace: bad magic %q", m[:])
+		return nil, fmt.Errorf("trace: %w %q", ErrBadMagic, m[:])
 	}
 	return &Reader{br: br}, nil
 }
 
-// Read returns the next event, or io.EOF at the end of the stream.
+// Read returns the next event, or io.EOF at the end of the stream. Events
+// are validated as they are decoded: a stream cut mid-varint returns
+// ErrTruncated and a value no numbering could have produced returns
+// ErrEventRange, so adversarial input surfaces as a typed error rather
+// than corrupting (or panicking) a downstream builder.
 func (r *Reader) Read() (Event, error) {
 	v, err := binary.ReadUvarint(r.br)
 	if err != nil {
 		if err == io.EOF {
 			return 0, io.EOF
 		}
+		if err == io.ErrUnexpectedEOF {
+			return 0, fmt.Errorf("trace: %w: event cut mid-varint", ErrTruncated)
+		}
 		return 0, fmt.Errorf("trace: %w", err)
+	}
+	if err := CheckEvent(Event(v)); err != nil {
+		return 0, err
 	}
 	return Event(v), nil
 }

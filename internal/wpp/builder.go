@@ -87,6 +87,16 @@ func New(names []string, nums []*bl.Numbering, opts BuildOptions) Builder {
 	}
 }
 
+// LiveSnapshotter is implemented by builders that can produce a
+// point-in-time queryable artifact mid-stream without sealing. The
+// monolithic strategy supports it (one grammar, snapshot on demand); the
+// parallel chunked strategy does not, because chunks are in flight on
+// worker goroutines until Finish. Callers type-assert and fall back to
+// query-after-seal when the assertion fails.
+type LiveSnapshotter interface {
+	SnapshotWPP() *WPP
+}
+
 // monoHandle adapts MonoBuilder to the Builder interface.
 type monoHandle struct {
 	b      *MonoBuilder
@@ -133,6 +143,10 @@ func (h *monoHandle) Finish(instructions uint64) Artifact {
 }
 
 func (h *monoHandle) Report() *BuildReport { return h.report }
+
+// SnapshotWPP implements LiveSnapshotter by delegating to the wrapped
+// MonoBuilder.
+func (h *monoHandle) SnapshotWPP() *WPP { return h.b.SnapshotWPP() }
 
 // chunkedHandle adapts ParallelChunkedBuilder to the Builder interface.
 type chunkedHandle struct {
@@ -183,10 +197,12 @@ func (c *ChunkedWPP) FuncTable() []FuncInfo { return c.Funcs }
 
 // Interface conformance.
 var (
-	_ Builder  = (*monoHandle)(nil)
-	_ Builder  = (*chunkedHandle)(nil)
-	_ Artifact = (*WPP)(nil)
-	_ Artifact = (*ChunkedWPP)(nil)
+	_ Builder         = (*monoHandle)(nil)
+	_ Builder         = (*chunkedHandle)(nil)
+	_ Artifact        = (*WPP)(nil)
+	_ Artifact        = (*ChunkedWPP)(nil)
+	_ LiveSnapshotter = (*monoHandle)(nil)
+	_ LiveSnapshotter = (*MonoBuilder)(nil)
 )
 
 // The on-disk formats register with the codec at link time; any tool
@@ -236,6 +252,19 @@ func init() {
 			return c, nil
 		},
 	})
+}
+
+// SetVersion selects an artifact's on-disk encoding (FormatV1 or
+// FormatV2). The encoding is a property of serialization only: the
+// in-memory artifact and everything derived from it are identical under
+// either version.
+func SetVersion(a Artifact, v uint8) {
+	switch t := a.(type) {
+	case *WPP:
+		t.Version = v
+	case *ChunkedWPP:
+		t.Version = v
+	}
 }
 
 // DecodeArtifact decodes any registered artifact format via the codec

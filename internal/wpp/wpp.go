@@ -184,6 +184,67 @@ func (b *MonoBuilder) Finish(instructions uint64) *WPP {
 	}
 }
 
+// SnapshotWPP captures the still-growing build as a queryable WPP
+// without sealing it: the grammar is snapshotted at its current state,
+// the cost table is copied (and, after batched ingestion, derived from
+// the snapshot's terminals exactly as Finish would derive it), and the
+// builder continues unaffected. Because the executed-instruction total is
+// not known until the trace ends, the snapshot's Instructions is set to
+// TotalPathCost — the cost-weighted trace length — so hot-subpath
+// fractions stay well defined mid-stream. The caller must serialize
+// SnapshotWPP against Add/AddBatch; the returned WPP shares nothing
+// mutable with the builder.
+func (b *MonoBuilder) SnapshotWPP() *WPP {
+	snap := b.grammar.Snapshot()
+	costs := make(map[trace.Event]uint64, len(b.costs))
+	for e, c := range b.costs {
+		costs[e] = c
+	}
+	if b.lazyCosts {
+		fillCosts(costs, b.nums, snap)
+	}
+	w := &WPP{
+		Funcs:   b.funcs,
+		Grammar: snap,
+		Events:  b.events,
+		costs:   costs,
+	}
+	w.Instructions = w.TotalPathCost()
+	return w
+}
+
+// TotalPathCost is the cost-weighted length of the trace: the sum over
+// every event of its acyclic path's cost. It is computed bottom-up on the
+// grammar with memoized per-rule totals, in time proportional to the
+// grammar rather than the trace. For cost-1 tables (builds from raw
+// traces) it equals Events.
+func (w *WPP) TotalPathCost() uint64 {
+	n := len(w.Grammar.Rules)
+	if n == 0 {
+		return 0
+	}
+	memo := make([]uint64, n)
+	done := make([]bool, n)
+	var visit func(int) uint64
+	visit = func(i int) uint64 {
+		if done[i] {
+			return memo[i]
+		}
+		var total uint64
+		for _, s := range w.Grammar.Rules[i] {
+			if s.IsRule() {
+				total += visit(int(s.Rule))
+			} else {
+				total += w.costs[trace.Event(s.Value)]
+			}
+		}
+		memo[i] = total
+		done[i] = true
+		return total
+	}
+	return visit(0)
+}
+
 // PathCost returns the instruction cost of one event's acyclic path.
 // Unknown events cost 0.
 func (w *WPP) PathCost(e trace.Event) uint64 { return w.costs[e] }
