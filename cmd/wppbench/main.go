@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	wppbench [-exp all|e1,e2,e3,e4,e5,e6,a1,a2] [-scale small|medium|large] [-reps 3]
+//	wppbench [-exp all|e1..e6,a1..a6,p1,f1] [-scale small|medium|large] [-reps 3]
 package main
 
 import (
@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiment IDs (e1..e6,a1..a6,p1) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiment IDs (e1..e6,a1..a6,p1,f1) or 'all'")
 	scaleFlag := flag.String("scale", "medium", "workload scale (small|medium|large)")
 	verify := flag.Bool("verify", false, "deep-verify every workload's artifacts (monolithic and chunked) before running experiments")
 	reps := flag.Int("reps", 3, "repetitions for timing experiments (best-of)")
@@ -49,7 +49,7 @@ func main() {
 	}
 	want := map[string]bool{}
 	if *expFlag == "all" {
-		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "a1", "a2", "a3", "a4", "a5", "a6", "p1"} {
+		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "a1", "a2", "a3", "a4", "a5", "a6", "p1", "f1"} {
 			want[id] = true
 		}
 	} else {
@@ -133,6 +133,10 @@ func main() {
 	}
 	if want["p1"] {
 		_, tbl, err := experiments.P1(scale, []string{"compress", "expr", "sim", "sort"}, 4096, *workers, *reps)
+		show(tbl, err)
+	}
+	if want["f1"] {
+		_, tbl, err := experiments.F1(scale)
 		show(tbl, err)
 	}
 	if *seqbench != "" {

@@ -24,7 +24,11 @@
 // -verify proves every function's Ball–Larus numbering unique and
 // compact by exhaustive path enumeration before the run, and deep-checks
 // the finished artifact (grammar invariants, chunk geometry, path-ID
-// bounds) before it is written.
+// bounds) before it is written. When the artifact was built by running a
+// program (not from a raw trace), -verify additionally runs the static
+// feasible-path analysis and requires every distinct observed path ID to
+// be classified feasible — a dynamic cross-check of the dataflow
+// framework against the interpreter.
 package main
 
 import (
@@ -35,6 +39,7 @@ import (
 	"strconv"
 
 	"repro/internal/bl"
+	"repro/internal/dataflow"
 	"repro/internal/experiments"
 	"repro/internal/interp"
 	"repro/internal/obsv"
@@ -88,6 +93,7 @@ func main() {
 
 	var a iwpp.Artifact
 	var rep *iwpp.BuildReport
+	var prog *wlc.Program
 	switch {
 	case *traceFile != "":
 		a, rep, err = fromTrace(*traceFile, newBuilder)
@@ -100,7 +106,7 @@ func main() {
 		if serr != nil {
 			fatal(serr)
 		}
-		a, rep, err = fromSource(wl.Source, []int64{scale.Arg(wl)}, newBuilder)
+		a, rep, prog, err = fromSource(wl.Source, []int64{scale.Arg(wl)}, newBuilder)
 	case flag.NArg() >= 1:
 		data, rerr := os.ReadFile(flag.Arg(0))
 		if rerr != nil {
@@ -114,7 +120,7 @@ func main() {
 			}
 			args = append(args, v)
 		}
-		a, rep, err = fromSource(string(data), args, newBuilder)
+		a, rep, prog, err = fromSource(string(data), args, newBuilder)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -131,6 +137,9 @@ func main() {
 			fatal(fmt.Errorf("artifact fails deep verification: %w", verr))
 		}
 		fmt.Println(vrep.String())
+		if prog != nil {
+			checkFeasibility(prog, a)
+		}
 	}
 
 	f, err := os.Create(*out)
@@ -229,15 +238,15 @@ type builderSink struct{ b iwpp.Builder }
 func (s *builderSink) Add(e trace.Event)         { s.b.Add(e) }
 func (s *builderSink) AddBatch(es []trace.Event) { s.b.AddBatch(es) }
 
-func fromSource(source string, args []int64, newBuilder builderFactory) (iwpp.Artifact, *iwpp.BuildReport, error) {
+func fromSource(source string, args []int64, newBuilder builderFactory) (iwpp.Artifact, *iwpp.BuildReport, *wlc.Program, error) {
 	prog, err := wlc.Compile(source)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	sink := &builderSink{}
 	m, err := interp.New(prog, interp.Config{Mode: interp.PathTrace, Sink: sink})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	names := make([]string, len(prog.Funcs))
 	for i, fn := range prog.Funcs {
@@ -247,10 +256,53 @@ func fromSource(source string, args []int64, newBuilder builderFactory) (iwpp.Ar
 	sink.b = b
 	if _, err := m.Run("main", args...); err != nil {
 		b.Finish(0) // drain the pipeline so worker goroutines do not leak
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	a := b.Finish(m.Stats().Instructions)
-	return a, b.Report(), nil
+	return a, b.Report(), prog, nil
+}
+
+// checkFeasibility is the -verify feasible-path cross-check: every
+// distinct path ID recorded in the artifact must be classified feasible
+// by the static dataflow analysis of the program just traced. An
+// infeasible observed path means the analysis (or the trace) is wrong,
+// so it is fatal.
+func checkFeasibility(prog *wlc.Program, a iwpp.Artifact) {
+	sets, err := dataflow.FeasiblePaths(prog, 0)
+	if err != nil {
+		fatal(fmt.Errorf("feasible-path analysis failed: %w", err))
+	}
+	distinct := map[trace.Event]bool{}
+	var bad error
+	a.Walk(func(e trace.Event) bool {
+		if distinct[e] {
+			return true
+		}
+		distinct[e] = true
+		if int(e.Func()) >= len(sets) {
+			bad = fmt.Errorf("event %v references function %d beyond the program's %d", e, e.Func(), len(sets))
+			return false
+		}
+		if err := sets[e.Func()].CheckObserved(prog.Funcs[e.Func()].Name, []uint64{e.Path()}); err != nil {
+			bad = err
+			return false
+		}
+		return true
+	})
+	if bad != nil {
+		fatal(bad)
+	}
+	var feasible, total uint64
+	skipped := 0
+	for _, ps := range sets {
+		feasible += ps.FeasibleCount
+		total += ps.NumPaths
+		if ps.Skipped {
+			skipped++
+		}
+	}
+	fmt.Printf("dataflow: %d distinct observed path(s) all feasible; %d/%d static path(s) feasible (%d function(s) over the enumeration limit)\n",
+		len(distinct), feasible, total, skipped)
 }
 
 func fromTrace(path string, newBuilder builderFactory) (iwpp.Artifact, *iwpp.BuildReport, error) {

@@ -15,10 +15,17 @@
 // compact by exhaustive path enumeration, and regenerates each distinct
 // traced path ID back to a block sequence.
 //
+// -coverage (with -workload name) recompiles the workload, classifies
+// every static Ball–Larus path as feasible or infeasible with the
+// dataflow framework, and prints observed/feasible/total path counts per
+// function. A dynamically observed path the analysis calls infeasible is
+// a soundness violation and exits nonzero.
+//
 // Usage:
 //
 //	wppstats [-dump n] [-profile n] [-funcs] [-dot] file.wpp
 //	wppstats -verify [-workload name] file.wpp
+//	wppstats -coverage -workload name file.wpp
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	"os"
 
 	"repro/internal/bl"
+	"repro/internal/dataflow"
 	"repro/internal/hotpath"
 	"repro/internal/interp"
 	"repro/internal/trace"
@@ -42,9 +50,10 @@ func main() {
 	funcs := flag.Bool("funcs", false, "also print the per-function cost profile")
 	dot := flag.Bool("dot", false, "print the grammar DAG in Graphviz DOT form and exit")
 	verify := flag.Bool("verify", false, "deep-verify the artifact (grammar invariants, path-ID bounds) before printing statistics")
-	workload := flag.String("workload", "", "with -verify: cross-check against this built-in workload and prove its Ball–Larus numberings")
+	workload := flag.String("workload", "", "with -verify or -coverage: cross-check against this built-in workload")
+	coverage := flag.Bool("coverage", false, "with -workload: print per-function path coverage (observed/feasible/total) and exit; nonzero if an observed path is statically infeasible")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: wppstats [-dump n] [-profile n] [-funcs] [-dot] [-verify [-workload name]] file.wpp\n")
+		fmt.Fprintf(os.Stderr, "usage: wppstats [-dump n] [-profile n] [-funcs] [-dot] [-verify [-workload name]] [-coverage -workload name] file.wpp\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -61,11 +70,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *workload != "" && !*verify {
-		fatal(fmt.Errorf("-workload requires -verify"))
+	if *workload != "" && !*verify && !*coverage {
+		fatal(fmt.Errorf("-workload requires -verify or -coverage"))
+	}
+	if *coverage && *workload == "" {
+		fatal(fmt.Errorf("-coverage requires -workload (the artifact does not carry the program)"))
 	}
 	if cw != nil {
+		if *coverage {
+			coverageReport(*workload, cw.Funcs, cw.Walk)
+			return
+		}
 		chunkedStats(cw, format, *dump, *profile, *funcs, *dot, *verify, *workload)
+		return
+	}
+	if *coverage {
+		if err := w.Verify(); err != nil {
+			fatal(fmt.Errorf("artifact fails verification: %w", err))
+		}
+		coverageReport(*workload, w.Funcs, w.Walk)
 		return
 	}
 	if err := w.Verify(); err != nil {
@@ -257,6 +280,77 @@ func verifyAgainstWorkload(name string, funcs []iwpp.FuncInfo, walk func(func(tr
 	}
 	fmt.Printf("bl: workload %s cross-checked: %d/%d numbering(s) proved unique+compact (%d skipped), %d distinct path(s) regenerated\n",
 		name, proved, len(nums), skipped, regenerated)
+}
+
+// coverageReport recompiles the named workload, runs the feasible-path
+// analysis on it, and reports per-function path coverage: how many
+// distinct path IDs the trace observed, how many the analysis classifies
+// feasible, and the total static path count. An observed path classified
+// infeasible is a soundness violation and exits nonzero.
+func coverageReport(name string, funcs []iwpp.FuncInfo, walk func(func(trace.Event) bool)) {
+	wl, err := workloads.ByName(name)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := wlc.Compile(wl.Source)
+	if err != nil {
+		fatal(fmt.Errorf("recompiling workload %s: %w", name, err))
+	}
+	if len(funcs) != len(prog.Funcs) {
+		fatal(fmt.Errorf("artifact has %d functions, workload %s compiles to %d", len(funcs), name, len(prog.Funcs)))
+	}
+	for i, f := range funcs {
+		if f.Name != prog.Funcs[i].Name {
+			fatal(fmt.Errorf("function %d is %q in the artifact but %q in workload %s", i, f.Name, prog.Funcs[i].Name, name))
+		}
+	}
+	sets, err := dataflow.FeasiblePaths(prog, 0)
+	if err != nil {
+		fatal(fmt.Errorf("feasible-path analysis failed: %w", err))
+	}
+
+	observed := make([]map[uint64]bool, len(prog.Funcs))
+	for i := range observed {
+		observed[i] = make(map[uint64]bool)
+	}
+	var bad error
+	walk(func(e trace.Event) bool {
+		if int(e.Func()) >= len(sets) {
+			bad = fmt.Errorf("event %v references function %d beyond the workload's %d", e, e.Func(), len(sets))
+			return false
+		}
+		observed[e.Func()][e.Path()] = true
+		return true
+	})
+	if bad != nil {
+		fatal(bad)
+	}
+
+	fmt.Printf("path coverage (workload %s):\n", name)
+	fmt.Printf("  %-16s %10s %10s %10s %9s\n", "function", "observed", "feasible", "total", "coverage")
+	violations := 0
+	for i, fn := range prog.Funcs {
+		ps := sets[i]
+		for id := range observed[i] {
+			if !ps.IsFeasible(id) {
+				fmt.Fprintf(os.Stderr, "wppstats: %s: observed path %d is classified statically infeasible\n", fn.Name, id)
+				violations++
+			}
+		}
+		cov := 0.0
+		if ps.FeasibleCount > 0 {
+			cov = float64(len(observed[i])) / float64(ps.FeasibleCount) * 100
+		}
+		note := ""
+		if ps.Skipped {
+			note = " (enumeration skipped; all paths assumed feasible)"
+		}
+		fmt.Printf("  %-16s %10d %10d %10d %8.2f%%%s\n",
+			fn.Name, len(observed[i]), ps.FeasibleCount, ps.NumPaths, cov, note)
+	}
+	if violations > 0 {
+		fatal(fmt.Errorf("%d observed path(s) classified infeasible: %w", violations, dataflow.ErrInfeasibleObserved))
+	}
 }
 
 func fatal(err error) {

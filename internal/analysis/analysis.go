@@ -8,6 +8,7 @@
 //   - nilmetrics: obsv metric handles honor the nil-safe method contract
 //   - atomicalign: 64-bit sync/atomic fields are 8-byte aligned on 32-bit
 //   - lockcopy: values containing locks (or atomics) are never copied
+//   - unlockleak: locked mutexes are released on every return path
 //   - errwrap: fmt.Errorf in internal/... wraps error args with %w
 //   - noprint: library packages never print to the process's stdout
 //

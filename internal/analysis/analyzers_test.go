@@ -20,6 +20,10 @@ func TestLockCopy(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), analysis.LockCopy, "lockcopy/a")
 }
 
+func TestUnlockLeak(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.UnlockLeak, "unlockleak/a")
+}
+
 func TestErrWrap(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), analysis.ErrWrap, "errwrap/internal/a")
 }

@@ -8,7 +8,7 @@ import (
 
 // All returns the repository's analyzer suite in report order.
 func All() []*Analyzer {
-	return []*Analyzer{NilMetrics, AtomicAlign, LockCopy, ErrWrap, NoPrint}
+	return []*Analyzer{NilMetrics, AtomicAlign, LockCopy, UnlockLeak, ErrWrap, NoPrint}
 }
 
 // ByName resolves a comma-separated analyzer selection against All.

@@ -1,0 +1,152 @@
+// Fixture: mutexes locked on some path but not unlocked on every return
+// path. The positive cases model the early-return leak; the negative
+// cases model internal/serve's real session-mutex discipline (lock,
+// conditionally unlock-and-return, final unlock; or defer).
+package a
+
+import (
+	"os"
+	"sync"
+)
+
+type server struct {
+	mu       sync.Mutex
+	stateMu  sync.RWMutex
+	sessions map[string]int
+	closed   bool
+}
+
+// Leak: the error path returns with the lock held.
+func (s *server) leakOnError(id string) int {
+	s.mu.Lock() // want `s\.mu\.Lock\(\) locked here is not unlocked on every return path`
+	v, ok := s.sessions[id]
+	if !ok {
+		return -1
+	}
+	s.mu.Unlock()
+	return v
+}
+
+// Leak: one arm of the if unlocks, the fall-off-the-end path does not.
+func (s *server) leakAtEnd(cond bool) {
+	s.mu.Lock() // want `s\.mu\.Lock\(\) locked here is not unlocked on every return path`
+	if cond {
+		s.mu.Unlock()
+		return
+	}
+	s.sessions = nil
+}
+
+// Leak: read lock forgotten on the early return.
+func (s *server) leakRead(id string) int {
+	s.stateMu.RLock() // want `s\.stateMu\.RLock\(\) locked here is not unlocked on every return path`
+	if s.closed {
+		return 0
+	}
+	v := s.sessions[id]
+	s.stateMu.RUnlock()
+	return v
+}
+
+// OK: the serve.go shape — lock, conditionally unlock+return, fall
+// through to the final unlock.
+func (s *server) register(id string) bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	if len(s.sessions) > 100 {
+		s.mu.Unlock()
+		return false
+	}
+	s.sessions[id] = 1
+	s.mu.Unlock()
+	return true
+}
+
+// OK: deferred unlock covers every return.
+func (s *server) snapshot() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.sessions))
+	for k, v := range s.sessions {
+		out[k] = v
+	}
+	return out
+}
+
+// OK: the write lock is balanced inside each loop iteration.
+func (s *server) sweep(ids []string) {
+	for _, id := range ids {
+		s.mu.Lock()
+		delete(s.sessions, id)
+		s.mu.Unlock()
+	}
+}
+
+// OK, deliberately ungated: a function that never unlocks anywhere is
+// ownership transfer (the caller releases), not a partial leak.
+func (s *server) acquireForCaller() {
+	s.mu.Lock()
+}
+
+// OK: panic and os.Exit end the path; no unlock needed past them.
+func (s *server) guarded(fatal bool) {
+	s.mu.Lock()
+	if fatal {
+		s.mu.Unlock()
+		os.Exit(1)
+	}
+	if s.sessions == nil {
+		panic("no sessions")
+	}
+	s.mu.Unlock()
+}
+
+// OK: switch with every arm unlocking before return.
+func (s *server) dispatch(kind int) int {
+	s.mu.Lock()
+	switch kind {
+	case 0:
+		s.mu.Unlock()
+		return 0
+	default:
+		s.mu.Unlock()
+		return 1
+	}
+}
+
+// Leak: one switch arm forgets the unlock.
+func (s *server) dispatchLeak(kind int) int {
+	s.mu.Lock() // want `s\.mu\.Lock\(\) locked here is not unlocked on every return path`
+	switch kind {
+	case 0:
+		s.mu.Unlock()
+		return 0
+	default:
+		return 1
+	}
+}
+
+// OK: a nested literal is its own scope; the closure's lock discipline
+// is checked independently (and is balanced here).
+func (s *server) withClosure() {
+	f := func() {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+	}
+	f()
+}
+
+// Leak inside the literal itself.
+func (s *server) closureLeak() func() {
+	return func() {
+		s.mu.Lock() // want `s\.mu\.Lock\(\) locked here is not unlocked on every return path`
+		if s.closed {
+			return
+		}
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,354 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// UnlockLeak flags mutexes that are locked but not released on every
+// return path: the classic early-return leak, where a function does
+//
+//	s.mu.Lock()
+//	if cond { return err } // forgot s.mu.Unlock()
+//	s.mu.Unlock()
+//
+// It models the lock discipline internal/serve uses for its session
+// mutex: lock, conditionally unlock-and-return, fall through to a final
+// unlock, or `defer mu.Unlock()` right after locking.
+//
+// The analysis walks each function body path-sensitively with a held-lock
+// set: Lock/RLock adds the receiver, Unlock/RUnlock removes it, a
+// deferred unlock satisfies the lock on every later path, and each
+// return (explicit or the fall-off-the-end one) must see an empty held
+// set. Branch statements analyze each arm separately; loops and arms
+// that terminate (return/panic/break) do not rejoin.
+//
+// Functions that never unlock a given mutex at all are deliberately not
+// flagged for it: locking without any local unlock is how ownership
+// transfer looks (lock here, release in the caller), and flagging it
+// would bury real leaks in noise. The leak this catches is the partial
+// one — released on some paths, forgotten on others.
+var UnlockLeak = &Analyzer{
+	Name: "unlockleak",
+	Doc:  "mutexes locked on some path must be unlocked on every return path",
+	Run:  runUnlockLeak,
+}
+
+func runUnlockLeak(pass *Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			body = n.Body
+		case *ast.FuncLit:
+			body = n.Body
+		default:
+			return true
+		}
+		if body != nil {
+			checkFuncLocks(pass, body)
+		}
+		return true // nested function literals are checked independently
+	})
+	return nil
+}
+
+// lockOp classifies a call as a lock-discipline operation on a key.
+type lockOp struct {
+	key     string // receiver path + read/write class, e.g. "s.mu/w"
+	acquire bool
+}
+
+// lockCall recognizes m.Lock()/m.Unlock()/m.RLock()/m.RUnlock() on a
+// sync.Mutex or sync.RWMutex reachable through a stable ident/selector
+// chain. Anything else (method values, locks in maps, wrapper methods)
+// is not tracked.
+func lockCall(pass *Pass, call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return lockOp{}, false
+	}
+	var class string
+	var acquire bool
+	switch sel.Sel.Name {
+	case "Lock":
+		class, acquire = "w", true
+	case "Unlock":
+		class, acquire = "w", false
+	case "RLock":
+		class, acquire = "r", true
+	case "RUnlock":
+		class, acquire = "r", false
+	default:
+		return lockOp{}, false
+	}
+	if !isSyncMutex(pass.TypesInfo.Types[sel.X].Type) {
+		return lockOp{}, false
+	}
+	path, ok := exprPath(sel.X)
+	if !ok {
+		return lockOp{}, false
+	}
+	return lockOp{key: path + "/" + class, acquire: acquire}, true
+}
+
+// isSyncMutex reports whether t is sync.Mutex or sync.RWMutex (possibly
+// behind a pointer).
+func isSyncMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// exprPath flattens an ident/selector chain ("s.state.mu") into a stable
+// key; it fails on anything whose identity can change between
+// statements (calls, index expressions).
+func exprPath(e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		base, ok := exprPath(e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	case *ast.StarExpr:
+		return exprPath(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return exprPath(e.X)
+		}
+	}
+	return "", false
+}
+
+// lockChecker carries one function body's analysis state.
+type lockChecker struct {
+	pass *Pass
+	// unlocked gates reporting: keys this function unlocks somewhere.
+	unlocked map[string]bool
+	// deferred keys are released at every return once registered.
+	deferred map[string]bool
+	// leaks maps the Lock() position to its key, deduplicating reports.
+	leaks map[token.Pos]string
+}
+
+// held maps a lock key to the position of the Lock() that acquired it.
+type heldLocks map[string]token.Pos
+
+func (h heldLocks) clone() heldLocks {
+	c := make(heldLocks, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+func checkFuncLocks(pass *Pass, body *ast.BlockStmt) {
+	c := &lockChecker{
+		pass:     pass,
+		unlocked: map[string]bool{},
+		deferred: map[string]bool{},
+		leaks:    map[token.Pos]string{},
+	}
+	// Pre-scan for the reporting gate: which keys does this function ever
+	// unlock (including deferred unlocks inside nested literals — a
+	// cleanup closure releasing the lock counts as local discipline).
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if op, ok := lockCall(pass, call); ok && !op.acquire {
+				c.unlocked[op.key] = true
+			}
+		}
+		return true
+	})
+	final, terminated := c.stmts(body.List, heldLocks{})
+	if !terminated {
+		c.leakAll(final) // falling off the end is a return
+	}
+	for pos, key := range c.leaks {
+		c.pass.Reportf(pos, "%s locked here is not unlocked on every return path", lockName(key))
+	}
+}
+
+// lockName renders a key back to source-ish form for the message.
+func lockName(key string) string {
+	path := key[:len(key)-2]
+	if key[len(key)-1] == 'r' {
+		return path + ".RLock()"
+	}
+	return path + ".Lock()"
+}
+
+func (c *lockChecker) leakAll(held heldLocks) {
+	for key, pos := range held {
+		if c.unlocked[key] && !c.deferred[key] {
+			c.leaks[pos] = key
+		}
+	}
+}
+
+// stmts walks a statement list with the given held set, returning the
+// held set at its end and whether control definitely leaves the list
+// (return, panic, branch) before reaching it.
+func (c *lockChecker) stmts(list []ast.Stmt, held heldLocks) (heldLocks, bool) {
+	for _, s := range list {
+		var terminated bool
+		held, terminated = c.stmt(s, held)
+		if terminated {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (c *lockChecker) stmt(s ast.Stmt, held heldLocks) (heldLocks, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if op, ok := lockCall(c.pass, call); ok {
+				held = held.clone()
+				if op.acquire {
+					held[op.key] = call.Pos()
+				} else {
+					delete(held, op.key)
+				}
+				return held, false
+			}
+			if isTerminalCall(call) {
+				return held, true
+			}
+		}
+	case *ast.DeferStmt:
+		if op, ok := lockCall(c.pass, s.Call); ok && !op.acquire {
+			c.deferred[op.key] = true
+			held = held.clone()
+			delete(held, op.key)
+		}
+	case *ast.ReturnStmt:
+		c.leakAll(held)
+		return held, true
+	case *ast.BranchStmt:
+		// break/continue/goto: conservative — the paths rejoin somewhere
+		// we do not model, so stop tracking this one.
+		return held, true
+	case *ast.BlockStmt:
+		return c.stmts(s.List, held)
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, held)
+	case *ast.IfStmt:
+		thenHeld, thenTerm := c.stmts(s.Body.List, held.clone())
+		elseHeld, elseTerm := held, false
+		if s.Else != nil {
+			elseHeld, elseTerm = c.stmt(s.Else, held.clone())
+		}
+		return joinBranches([]heldLocks{thenHeld, elseHeld}, []bool{thenTerm, elseTerm})
+	case *ast.ForStmt:
+		// One abstract iteration: a body that leaks per-iteration also
+		// leaks across the loop; a balanced body leaves held unchanged.
+		bodyHeld, bodyTerm := c.stmts(s.Body.List, held.clone())
+		return joinBranches([]heldLocks{held, bodyHeld}, []bool{false, bodyTerm})
+	case *ast.RangeStmt:
+		bodyHeld, bodyTerm := c.stmts(s.Body.List, held.clone())
+		return joinBranches([]heldLocks{held, bodyHeld}, []bool{false, bodyTerm})
+	case *ast.SwitchStmt:
+		return c.caseClauses(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		return c.caseClauses(s.Body, held)
+	case *ast.SelectStmt:
+		var states []heldLocks
+		var terms []bool
+		for _, cc := range s.Body.List {
+			comm := cc.(*ast.CommClause)
+			h, t := c.stmts(comm.Body, held.clone())
+			states = append(states, h)
+			terms = append(terms, t)
+		}
+		if len(states) == 0 {
+			return held, true // empty select blocks forever
+		}
+		return joinBranches(states, terms)
+	}
+	return held, false
+}
+
+// caseClauses analyzes each case arm from the same pre-state. A switch
+// with no default may execute no arm, so the pre-state joins in too.
+func (c *lockChecker) caseClauses(body *ast.BlockStmt, held heldLocks) (heldLocks, bool) {
+	states := []heldLocks{}
+	terms := []bool{}
+	hasDefault := false
+	for _, cc := range body.List {
+		clause, ok := cc.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if clause.List == nil {
+			hasDefault = true
+		}
+		h, t := c.stmts(clause.Body, held.clone())
+		states = append(states, h)
+		terms = append(terms, t)
+	}
+	if !hasDefault {
+		states = append(states, held)
+		terms = append(terms, false)
+	}
+	if len(states) == 0 {
+		return held, false
+	}
+	return joinBranches(states, terms)
+}
+
+// joinBranches merges the fall-through states of sibling branches into
+// the union of their held sets; branches that terminated already checked
+// their own paths and do not rejoin. All branches terminating terminates
+// the join.
+func joinBranches(states []heldLocks, terms []bool) (heldLocks, bool) {
+	merged := heldLocks{}
+	any := false
+	for i, h := range states {
+		if terms[i] {
+			continue
+		}
+		any = true
+		for k, v := range h {
+			if _, ok := merged[k]; !ok {
+				merged[k] = v
+			}
+		}
+	}
+	if !any {
+		return heldLocks{}, true
+	}
+	return merged, false
+}
+
+// isTerminalCall recognizes calls that never return, so statements after
+// them are not on any path: panic and the os.Exit family.
+func isTerminalCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := fun.X.(*ast.Ident); ok {
+			return (pkg.Name == "os" && fun.Sel.Name == "Exit") ||
+				(pkg.Name == "log" && (fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf" || fun.Sel.Name == "Fatalln"))
+		}
+	}
+	return false
+}

@@ -1,0 +1,111 @@
+package cfg
+
+// PostDominators computes the immediate-postdominator tree: the
+// dominator computation on the reversed graph, rooted at the exit. The
+// result maps each block to its immediate postdominator; the exit maps
+// to itself. Every block postdominates itself, and the exit
+// postdominates every block (Finish guarantees each block reaches the
+// exit, so the tree is total).
+//
+// It mirrors Dominators: the Cooper–Harvey–Kennedy iterative algorithm
+// over a reverse-graph reverse postorder.
+func (g *Graph) PostDominators() []BlockID {
+	rpo := g.reversePostorderFromExit()
+	rpoIndex := make([]int, len(g.blocks))
+	for i, b := range rpo {
+		rpoIndex[b] = i
+	}
+	ipdom := make([]BlockID, len(g.blocks))
+	for i := range ipdom {
+		ipdom[i] = None
+	}
+	ipdom[g.Exit] = g.Exit
+
+	intersect := func(a, b BlockID) BlockID {
+		for a != b {
+			for rpoIndex[a] > rpoIndex[b] {
+				a = ipdom[a]
+			}
+			for rpoIndex[b] > rpoIndex[a] {
+				b = ipdom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == g.Exit {
+				continue
+			}
+			var newIpdom BlockID = None
+			// The reversed graph's predecessors are the successors.
+			for _, s := range g.blocks[b].Succs {
+				if ipdom[s] == None {
+					continue
+				}
+				if newIpdom == None {
+					newIpdom = s
+				} else {
+					newIpdom = intersect(newIpdom, s)
+				}
+			}
+			if newIpdom != None && ipdom[b] != newIpdom {
+				ipdom[b] = newIpdom
+				changed = true
+			}
+		}
+	}
+	return ipdom
+}
+
+// PostDominates reports whether a postdominates b under the given
+// ipdom tree (every path from b to the exit passes through a).
+func PostDominates(ipdom []BlockID, a, b BlockID) bool {
+	for {
+		if a == b {
+			return true
+		}
+		next := ipdom[b]
+		if next == b || next == None {
+			return false
+		}
+		b = next
+	}
+}
+
+// reversePostorderFromExit is the reverse postorder of a depth-first
+// traversal of the reversed graph from the exit, following predecessor
+// lists in stored order.
+func (g *Graph) reversePostorderFromExit() []BlockID {
+	order := make([]BlockID, 0, len(g.blocks))
+	state := make([]int8, len(g.blocks))
+	type frame struct {
+		b  BlockID
+		si int
+	}
+	var stack []frame
+	stack = append(stack, frame{g.Exit, 0})
+	state[g.Exit] = 1
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		preds := g.blocks[f.b].Preds
+		if f.si < len(preds) {
+			p := preds[f.si]
+			f.si++
+			if state[p] == 0 {
+				state[p] = 1
+				stack = append(stack, frame{p, 0})
+			}
+			continue
+		}
+		state[f.b] = 2
+		order = append(order, f.b)
+		stack = stack[:len(stack)-1]
+	}
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}

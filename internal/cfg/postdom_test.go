@@ -1,0 +1,110 @@
+package cfg
+
+import "testing"
+
+// buildGraph freezes a graph from an edge list.
+func buildGraph(t *testing.T, n int, entry, exit BlockID, edges [][2]BlockID) *Graph {
+	t.Helper()
+	g := New("t")
+	for i := 0; i < n; i++ {
+		g.NewBlock("b")
+	}
+	for _, e := range edges {
+		mustEdge(t, g, e[0], e[1])
+	}
+	g.SetEntry(entry)
+	g.SetExit(exit)
+	if err := g.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPostDominators(t *testing.T) {
+	tests := []struct {
+		name  string
+		n     int
+		entry BlockID
+		exit  BlockID
+		edges [][2]BlockID
+		want  []BlockID // expected ipdom per block
+	}{
+		{
+			name: "straight line",
+			n:    3, entry: 0, exit: 2,
+			edges: [][2]BlockID{{0, 1}, {1, 2}},
+			want:  []BlockID{1, 2, 2},
+		},
+		{
+			name: "diamond joins at merge",
+			n:    4, entry: 0, exit: 3,
+			edges: [][2]BlockID{{0, 1}, {0, 2}, {1, 3}, {2, 3}},
+			want:  []BlockID{3, 3, 3, 3},
+		},
+		{
+			name: "while loop",
+			// 0(entry) -> 1(header); 1 -> 2(body), 3(exit); 2 -> 1
+			n: 4, entry: 0, exit: 3,
+			edges: [][2]BlockID{{0, 1}, {1, 2}, {1, 3}, {2, 1}},
+			want:  []BlockID{1, 3, 1, 3},
+		},
+		{
+			name: "nested diamond",
+			// 0 -> 1,5; 1 -> 2,3; 2 -> 4; 3 -> 4; 4 -> 6; 5 -> 6
+			n: 7, entry: 0, exit: 6,
+			edges: [][2]BlockID{{0, 1}, {0, 5}, {1, 2}, {1, 3}, {2, 4}, {3, 4}, {4, 6}, {5, 6}},
+			want:  []BlockID{6, 4, 4, 4, 6, 6, 6},
+		},
+		{
+			name: "early exit skips the merge",
+			// 0 -> 1,3; 1 -> 2; 2 -> 3; only 3 postdominates 0
+			n: 4, entry: 0, exit: 3,
+			edges: [][2]BlockID{{0, 1}, {0, 3}, {1, 2}, {2, 3}},
+			want:  []BlockID{3, 2, 3, 3},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := buildGraph(t, tt.n, tt.entry, tt.exit, tt.edges)
+			got := g.PostDominators()
+			for b, want := range tt.want {
+				if got[b] != want {
+					t.Errorf("ipdom[%d] = %d, want %d (full: %v)", b, got[b], want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestPostDominatorsMirrorsDominators checks the duality on the
+// symmetric diamond: reversing the graph swaps the roles of the two
+// trees.
+func TestPostDominatorsMirrorsDominators(t *testing.T) {
+	g := buildDiamond(t)
+	idom, ipdom := g.Dominators(), g.PostDominators()
+	if idom[3] != 0 || ipdom[0] != 3 {
+		t.Fatalf("diamond: idom[exit]=%d ipdom[entry]=%d, want 0 and 3", idom[3], ipdom[0])
+	}
+	for b := BlockID(0); int(b) < g.NumBlocks(); b++ {
+		if !PostDominates(ipdom, g.Exit, b) {
+			t.Errorf("exit does not postdominate %d", b)
+		}
+		if !PostDominates(ipdom, b, b) {
+			t.Errorf("%d does not postdominate itself", b)
+		}
+	}
+}
+
+func TestPostDominatesNegative(t *testing.T) {
+	g := buildDiamond(t)
+	ipdom := g.PostDominators()
+	if PostDominates(ipdom, 1, 2) {
+		t.Error("sibling arm 1 postdominates 2")
+	}
+	if PostDominates(ipdom, 1, 0) {
+		t.Error("arm 1 postdominates the entry")
+	}
+	if PostDominates(ipdom, 0, 3) {
+		t.Error("entry postdominates the exit")
+	}
+}

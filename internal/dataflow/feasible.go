@@ -1,0 +1,164 @@
+package dataflow
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bl"
+	"repro/internal/cfg"
+	"repro/internal/wlc"
+)
+
+// DefaultFeasibleLimit bounds the per-function path enumeration, the
+// same budget bl.Prove uses: feasibility classification walks the same
+// acyclic-path space the exhaustive numbering proof does.
+const DefaultFeasibleLimit = bl.DefaultProveLimit
+
+// PathSet classifies every Ball–Larus path ID of one function.
+type PathSet struct {
+	// NumPaths is the function's total static path count
+	// (bl.Numbering.NumPaths).
+	NumPaths uint64
+	// Feasible holds one bit per path ID; set means the path is
+	// statically feasible. Nil when Skipped.
+	Feasible *Bitset
+	// FeasibleCount is the number of feasible path IDs.
+	FeasibleCount uint64
+	// Skipped reports that the function exceeded the enumeration limit
+	// and every path is conservatively classified feasible.
+	Skipped bool
+}
+
+// IsFeasible reports the classification of one path ID. Out-of-range
+// IDs are infeasible; skipped functions report every in-range ID
+// feasible.
+func (ps *PathSet) IsFeasible(path uint64) bool {
+	if path >= ps.NumPaths {
+		return false
+	}
+	if ps.Skipped {
+		return true
+	}
+	return ps.Feasible.Get(int(path))
+}
+
+// FeasiblePathsFunc classifies every acyclic path of one function as
+// statically feasible or infeasible by propagating abstract register
+// facts along each path of the Ball–Larus acyclic transform: starting
+// from the entry with the interpreter's initial register file (zeros,
+// unknown parameters) and from each loop header with an unknown file,
+// it follows every non-back edge applying block transfer and branch
+// refinement, and abandons a prefix as soon as its facts become
+// contradictory. Every dynamically observable path is classified
+// feasible (the facts over-approximate the interpreter); a path whose
+// branch outcomes cannot all hold under any register file is classified
+// infeasible — correlated branches and constant conditions are what the
+// refinement actually catches.
+//
+// Functions with more than limit paths (0 means DefaultFeasibleLimit)
+// are skipped: the result marks every path feasible, which keeps the
+// classification sound.
+func FeasiblePathsFunc(f *wlc.Func, num *bl.Numbering, limit uint64) (*PathSet, error) {
+	if limit == 0 {
+		limit = DefaultFeasibleLimit
+	}
+	ps := &PathSet{NumPaths: num.NumPaths}
+	if num.NumPaths > limit {
+		ps.Skipped = true
+		ps.FeasibleCount = num.NumPaths
+		return ps, nil
+	}
+	if num.Graph != f.Graph {
+		return nil, fmt.Errorf("dataflow: %s: numbering does not belong to the function's graph", f.Name)
+	}
+	ps.Feasible = NewBitset(int(num.NumPaths))
+
+	g := f.Graph
+	var walk func(b cfg.BlockID, r uint64, e Env) error
+	walk = func(b cfg.BlockID, r uint64, e Env) error {
+		if b == g.Exit {
+			if r >= num.NumPaths {
+				return fmt.Errorf("dataflow: %s: enumerated path ID %d outside [0,%d)", f.Name, r, num.NumPaths)
+			}
+			ps.Feasible.Set(int(r))
+			// The exit block's body still runs, but no branches remain
+			// to refine; the path is complete.
+			return nil
+		}
+		out := transferBlock(f, b, e)
+		if out == nil {
+			// The block's body must fault: nothing past it completes.
+			return nil
+		}
+		blk := g.Block(b)
+		for si, s := range blk.Succs {
+			refined, ok := refineEdge(f, b, si, out)
+			if !ok {
+				continue
+			}
+			if num.IsBack[b][si] {
+				// Pseudo edge b->EXIT: the acyclic path ends here.
+				id := r + num.EdgeVal[b][si]
+				if id >= num.NumPaths {
+					return fmt.Errorf("dataflow: %s: enumerated path ID %d outside [0,%d)", f.Name, id, num.NumPaths)
+				}
+				ps.Feasible.Set(int(id))
+				continue
+			}
+			if err := walk(s, r+num.EdgeVal[b][si], refined); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if err := walk(g.Entry, num.EntryValue(), entryEnv(f)); err != nil {
+		return nil, err
+	}
+	for h := cfg.BlockID(0); int(h) < g.NumBlocks(); h++ {
+		if !num.IsLoopHeader(h) {
+			continue
+		}
+		if err := walk(h, num.HeaderReset(h), unknownEnv(f)); err != nil {
+			return nil, err
+		}
+	}
+	ps.FeasibleCount = uint64(ps.Feasible.Count())
+	return ps, nil
+}
+
+// FeasiblePaths classifies the paths of every function of a compiled
+// program, indexed by function ID. Each function needs a Ball–Larus
+// numbering; irreducible functions fail, exactly as they do under path
+// tracing.
+func FeasiblePaths(p *wlc.Program, limit uint64) ([]*PathSet, error) {
+	out := make([]*PathSet, len(p.Funcs))
+	for i, f := range p.Funcs {
+		num, err := bl.Number(f.Graph)
+		if err != nil {
+			return nil, err
+		}
+		ps, err := FeasiblePathsFunc(f, num, limit)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ps
+	}
+	return out, nil
+}
+
+// ErrInfeasibleObserved is wrapped by CheckObserved failures: a path
+// that was dynamically observed but statically classified infeasible is
+// an analysis soundness bug, never a property of the trace.
+var ErrInfeasibleObserved = errors.New("observed path classified statically infeasible")
+
+// CheckObserved verifies the soundness cross-check on one function:
+// every observed path ID must be classified feasible.
+func (ps *PathSet) CheckObserved(fn string, observed []uint64) error {
+	for _, id := range observed {
+		if !ps.IsFeasible(id) {
+			return fmt.Errorf("dataflow: %s: path %d: %w", fn, id, ErrInfeasibleObserved)
+		}
+	}
+	return nil
+}

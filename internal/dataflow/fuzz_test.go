@@ -1,0 +1,67 @@
+package dataflow
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/trace"
+	"repro/internal/wlc"
+	"repro/internal/workloads"
+)
+
+// FuzzFeasiblePaths fuzzes the soundness invariant end to end: for any
+// compilable source and argument, every path ID the interpreter emits
+// must be classified feasible, and the pruned program must behave
+// identically to the plain one.
+func FuzzFeasiblePaths(f *testing.F) {
+	f.Add("func main(n) { if n > 5 { if n < 3 { return 9; } } return 0; }", int64(7))
+	f.Add("func main(n) { var x = 0; if x { return 1; } return 2; }", int64(0))
+	f.Add("func main(n) { var i = 0; while i < n { i = i + 1; } return i; }", int64(9))
+	f.Add("func main(n) { var a = [8]; a[n % 8] = n; return a[0]; }", int64(3))
+	for _, w := range workloads.All {
+		f.Add(w.Source, int64(5))
+	}
+	f.Fuzz(func(t *testing.T, src string, arg int64) {
+		p, err := wlc.Compile(src)
+		if err != nil {
+			return
+		}
+		// Keep the enumeration and the run small: fuzz inputs are about
+		// shapes, not scale.
+		sets, err := FeasiblePaths(p, 1<<12)
+		if err != nil {
+			return // irreducible graphs etc. are out of scope
+		}
+
+		observed := make([]map[uint64]bool, len(p.Funcs))
+		for i := range observed {
+			observed[i] = make(map[uint64]bool)
+		}
+		m, err := interp.New(p, interp.Config{
+			Mode:      interp.PathTrace,
+			Sink:      trace.SinkFunc(func(e trace.Event) { observed[e.Func()][e.Path()] = true }),
+			Stdout:    io.Discard,
+			MaxInstrs: 1 << 16,
+		})
+		if err != nil {
+			return
+		}
+		// Runtime faults and the instruction limit still leave a valid
+		// partial trace: only completed paths were emitted.
+		_, _ = m.Run("main", arg%1000)
+
+		for fi, fn := range p.Funcs {
+			for id := range observed[fi] {
+				if !sets[fi].IsFeasible(id) {
+					t.Fatalf("%s: observed path %d classified infeasible\nsource:\n%s", fn.Name, id, src)
+				}
+			}
+		}
+
+		// The dead-branch pass must never break a compilable program.
+		if _, err := EliminateDeadBranches(p); err != nil {
+			t.Fatalf("dead-branch pass failed: %v\nsource:\n%s", err, src)
+		}
+	})
+}

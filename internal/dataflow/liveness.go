@@ -1,0 +1,84 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/wlc"
+)
+
+// LiveFacts is the fixpoint of backward liveness over one function.
+type LiveFacts struct {
+	Func *wlc.Func
+	// in[b] / out[b] are the registers live at block b's entry / exit.
+	in, out []*Bitset
+}
+
+// LiveIn returns the set of registers live on entry to b. The returned
+// set is shared; callers must not mutate it.
+func (l *LiveFacts) LiveIn(b cfg.BlockID) *Bitset { return l.in[b] }
+
+// LiveOut returns the set of registers live on exit from b.
+func (l *LiveFacts) LiveOut(b cfg.BlockID) *Bitset { return l.out[b] }
+
+// instrUses calls use for every register the instruction reads. Note
+// that OpStore reads all three operands (Dst is the stored value) and
+// writes none.
+func instrUses(in *wlc.Instr, use func(int32)) {
+	switch in.Op {
+	case wlc.OpConst:
+	case wlc.OpMov, wlc.OpNot, wlc.OpNeg, wlc.OpNewArr, wlc.OpLen:
+		use(in.A)
+	case wlc.OpBin, wlc.OpLoad:
+		use(in.A)
+		use(in.B)
+	case wlc.OpStore:
+		use(in.A)
+		use(in.B)
+		use(in.Dst)
+	case wlc.OpCall, wlc.OpPrint:
+		for _, r := range in.Args {
+			use(r)
+		}
+	}
+}
+
+// Liveness computes per-block live-in/live-out register sets for f with
+// the backward worklist solver. The return slot r0 is live at the exit
+// (it carries the function result).
+func Liveness(f *wlc.Func) (*LiveFacts, error) {
+	n := f.NumRegs
+	res, err := Solve(f.Graph, Problem[*Bitset]{
+		Dir:    Backward,
+		Bottom: func() *Bitset { return NewBitset(n) },
+		Boundary: func() *Bitset {
+			b := NewBitset(n)
+			b.Set(0) // the exit block's terminator returns r0
+			return b
+		},
+		Join: func(dst, src *Bitset) (*Bitset, bool) {
+			return dst, dst.UnionWith(src)
+		},
+		Transfer: func(b cfg.BlockID, exitLive *Bitset) *Bitset {
+			live := exitLive.Clone()
+			if t := f.Terms[b]; t.Kind == wlc.TermBranch {
+				live.Set(int(t.Cond))
+			}
+			code := f.Code[b]
+			for i := len(code) - 1; i >= 0; i-- {
+				in := &code[i]
+				if writesReg(in, in.Dst) { // i.e. the op defines Dst
+					live.Clear(int(in.Dst))
+				}
+				instrUses(in, func(r int32) { live.Set(int(r)) })
+			}
+			return live
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dataflow: liveness %s: %w", f.Name, err)
+	}
+	// Backward problems store the exit-side fact in In and the
+	// entry-side fact in Out; re-expose them under their usual names.
+	return &LiveFacts{Func: f, in: res.Out, out: res.In}, nil
+}

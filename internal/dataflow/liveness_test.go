@@ -1,0 +1,102 @@
+package dataflow
+
+import (
+	"testing"
+
+	"repro/internal/wlc"
+	"repro/internal/workloads"
+)
+
+func TestLivenessReturnParam(t *testing.T) {
+	f := compileFunc(t, `func main(n) { return n; }`, "main")
+	l, err := Liveness(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.LiveIn(f.Graph.Entry).Get(1) {
+		t.Error("parameter register r1 not live on entry despite being returned")
+	}
+}
+
+func TestLivenessLoopCarried(t *testing.T) {
+	// acc is read on every iteration and after the loop: it must be live
+	// into the loop header. The header is the unique branch block.
+	f := compileFunc(t, `
+func main(n) {
+    var acc = 1;
+    while n {
+        n = n - 1;
+        acc = acc + acc;
+    }
+    return acc;
+}`, "main")
+	l, err := Liveness(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, blk := range f.Graph.Blocks() {
+		if f.Terms[blk.ID].Kind != wlc.TermBranch {
+			continue
+		}
+		// At the loop header both n (the condition) and acc (read later on
+		// both sides) are live; that's at least two registers besides r0.
+		live := l.LiveIn(blk.ID)
+		if live.Count() < 2 {
+			t.Errorf("loop header live-in has %d registers, want >= 2", live.Count())
+		}
+		if !live.Get(int(f.Terms[blk.ID].Cond)) {
+			t.Error("branch condition register not live at its own block entry")
+		}
+	}
+}
+
+// TestLivenessInvariantsOnWorkloads checks two structural invariants over
+// every bundled workload function:
+//
+//  1. live-in at the entry only contains parameter registers (and
+//     possibly r0, for functions that can fall off the end returning the
+//     zero-initialized slot) — WL initializes every variable at its
+//     declaration, so nothing else is read before written;
+//  2. a register no instruction ever reads is live nowhere.
+func TestLivenessInvariantsOnWorkloads(t *testing.T) {
+	for _, w := range workloads.All {
+		p, err := wlc.Compile(w.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		for _, f := range p.Funcs {
+			l, err := Liveness(f)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", w.Name, f.Name, err)
+			}
+
+			entry := l.LiveIn(f.Graph.Entry)
+			for r := 0; r < f.NumRegs; r++ {
+				if entry.Get(r) && r != 0 && r > f.Params {
+					t.Errorf("%s/%s: non-parameter register r%d live on entry", w.Name, f.Name, r)
+				}
+			}
+
+			used := NewBitset(f.NumRegs)
+			used.Set(0) // returned at the exit
+			for _, blk := range f.Graph.Blocks() {
+				if tm := f.Terms[blk.ID]; tm.Kind == wlc.TermBranch {
+					used.Set(int(tm.Cond))
+				}
+				for i := range f.Code[blk.ID] {
+					instrUses(&f.Code[blk.ID][i], func(r int32) { used.Set(int(r)) })
+				}
+			}
+			for r := 0; r < f.NumRegs; r++ {
+				if used.Get(r) {
+					continue
+				}
+				for _, blk := range f.Graph.Blocks() {
+					if l.LiveIn(blk.ID).Get(r) || l.LiveOut(blk.ID).Get(r) {
+						t.Errorf("%s/%s: never-read register r%d is live at block %d", w.Name, f.Name, r, blk.ID)
+					}
+				}
+			}
+		}
+	}
+}

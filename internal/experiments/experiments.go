@@ -13,6 +13,7 @@
 //	E6  analysis time on compressed vs decompressed form
 //	A1  ablation: path alphabet vs basic-block alphabet
 //	A2  ablation: SEQUITUR rule utility on/off
+//	F1  static path feasibility vs dynamic coverage (dataflow framework)
 package experiments
 
 import (

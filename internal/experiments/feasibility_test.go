@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+func TestF1(t *testing.T) {
+	rows, tbl, err := F1(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(workloads.All) {
+		t.Fatalf("%d rows, want %d", len(rows), len(workloads.All))
+	}
+	anyPruned := false
+	for _, r := range rows {
+		if r.StaticPaths == 0 || r.ObservedPaths == 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		if r.FeasiblePaths > r.StaticPaths {
+			t.Fatalf("feasible exceeds static: %+v", r)
+		}
+		if uint64(r.ObservedPaths) > r.FeasiblePaths {
+			t.Fatalf("observed exceeds feasible (unsound): %+v", r)
+		}
+		if r.FeasiblePaths < r.StaticPaths {
+			anyPruned = true
+		}
+	}
+	if !anyPruned {
+		t.Fatal("no workload shows feasible < static; the analysis proved nothing")
+	}
+	if !strings.Contains(tbl.String(), "F1") {
+		t.Fatal("table render missing ID")
+	}
+}

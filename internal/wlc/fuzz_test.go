@@ -1,0 +1,52 @@
+package wlc
+
+import (
+	"testing"
+
+	"repro/internal/wl"
+	"repro/internal/workloads"
+)
+
+// FuzzFoldLowerVerify round-trips any checkable source through the AST
+// folder and the lowerer and asserts the result verifies: whatever the
+// front end accepts, the optimizer must not break and the IR invariants
+// must hold. Folding runs on a copy of the pipeline only in spirit — the
+// fuzz target compiles the same source twice, folded and unfolded, and
+// verifies both.
+func FuzzFoldLowerVerify(f *testing.F) {
+	f.Add("func main() { return 0; }")
+	f.Add("func main(n) { if 1 { return n; } return 2 * 3 + n; }")
+	f.Add("func main(n) { var x = 0; while x < n { x = x + 1; if x % 2 { continue; } print x; } return x; }")
+	f.Add("func f(a) { return a * a; } func main(n) { var s = [4]; s[0] = f(n); return s[0]; }")
+	f.Add("func main(n) { var y = 1 / 0; return y; }")
+	for _, w := range workloads.All {
+		f.Add(w.Source)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := wl.Parse(src)
+		if err != nil {
+			return
+		}
+		if err := wl.Check(file); err != nil {
+			return
+		}
+		plain, err := Lower(file)
+		if err != nil {
+			t.Fatalf("checked source does not lower: %v\nsource:\n%s", err, src)
+		}
+		if err := plain.Verify(); err != nil {
+			t.Fatalf("lowered program does not verify: %v\nsource:\n%s", err, src)
+		}
+		Fold(file)
+		folded, err := Lower(file)
+		if err != nil {
+			t.Fatalf("folded source does not lower: %v\nsource:\n%s", err, src)
+		}
+		if err := folded.Verify(); err != nil {
+			t.Fatalf("folded program does not verify: %v\nsource:\n%s", err, src)
+		}
+		if len(folded.Funcs) != len(plain.Funcs) {
+			t.Fatalf("folding changed the function count: %d -> %d", len(plain.Funcs), len(folded.Funcs))
+		}
+	})
+}
