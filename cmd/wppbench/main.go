@@ -28,6 +28,8 @@ func main() {
 	workers := flag.Int("workers", 0, "worker count for the p1 parallel-scaling experiment (0 = all cores)")
 	seqbench := flag.String("seqbench", "", "measure raw SEQUITUR throughput and write the trajectory JSON to this file (e.g. BENCH_sequitur.json); if the file already holds a previous run, print a benchstat-style comparison before overwriting")
 	eventbench := flag.String("eventbench", "", "measure the scalar-vs-batched builder ingestion chains and write the trajectory JSON to this file (e.g. BENCH_eventpath.json); diffs against a previous run like -seqbench")
+	storebench := flag.String("storebench", "", "measure content-addressed store resolve latency and repeat-run dedup across small and medium scales and write the trajectory JSON to this file (e.g. BENCH_store.json); diffs against a previous run like -seqbench")
+	flatebench := flag.String("flatebench", "", "compare the v2 varint codecs against gzip'd v1 encodings on this golden-corpus directory (size and decode speed); prints a table, writes nothing")
 	golden := flag.String("golden", "", "decode and verify every artifact in this directory before running anything else; exit nonzero on the first failure")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :6060)")
 	progress := flag.Duration("progress", 0, "emit a progress line to stderr at this interval (e.g. 1s)")
@@ -151,6 +153,52 @@ func main() {
 		}
 		expDone.Inc()
 	}
+	if *storebench != "" {
+		if err := runStoreBench(*storebench, *workers, *reps); err != nil {
+			fatal(err)
+		}
+		expDone.Inc()
+	}
+	if *flatebench != "" {
+		_, tbl, err := experiments.FlateBench(*flatebench, *reps)
+		show(tbl, err)
+	}
+}
+
+// runStoreBench records a store trajectory point. The scales are fixed
+// at small and medium — the dedup claim the trajectory pins is
+// per-tuple, so the two scales double the grid rather than parameterize
+// it — and diffs against the previous point like runSeqBench.
+func runStoreBench(path string, workers, reps int) error {
+	var old *experiments.StoreBenchResult
+	if raw, err := os.ReadFile(path); err == nil {
+		old = &experiments.StoreBenchResult{}
+		if err := json.Unmarshal(raw, old); err != nil {
+			return fmt.Errorf("previous trajectory %s is not valid JSON (delete it to start fresh): %w", path, err)
+		}
+		if old.Schema != experiments.StoreBenchSchema {
+			return fmt.Errorf("previous trajectory %s has schema %q, want %q (delete it to start fresh)", path, old.Schema, experiments.StoreBenchSchema)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	if workers <= 0 {
+		workers = 2
+	}
+	scales := []experiments.Scale{experiments.Small, experiments.Medium}
+	res, tbl, err := experiments.StoreBench(scales, workloads.Names(), 4096, workers, reps)
+	if err != nil {
+		return err
+	}
+	fmt.Println(tbl.String())
+	if old != nil {
+		fmt.Println(experiments.CompareStoreBench(old, res).String())
+	}
+	raw, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
 }
 
 // checkGolden decodes and structurally verifies every artifact under

@@ -21,6 +21,12 @@
 // Building from a raw trace loses per-path instruction costs (the trace
 // format does not carry them); analyses then weight every path equally.
 //
+// -store DIR (default $WPP_STORE) additionally records the artifact in
+// the content-addressed store — chunk grammars dedup against prior runs
+// — registers the build tuple in the store's index so later
+// "name@scale" refs resolve without rebuilding, and prints the
+// artifact's hash for use as an "@hash" ref.
+//
 // -verify proves every function's Ball–Larus numbering unique and
 // compact by exhaustive path enumeration before the run, and deep-checks
 // the finished artifact (grammar invariants, chunk geometry, path-ID
@@ -43,6 +49,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/interp"
 	"repro/internal/obsv"
+	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/wlc"
 	"repro/internal/workloads"
@@ -60,8 +67,9 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel compression workers for -chunk (0 = all cores)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :6060)")
 	progress := flag.Duration("progress", 0, "emit a progress line to stderr at this interval (e.g. 1s)")
+	storeDir := flag.String("store", "", "also record the artifact in the content-addressed store at this directory (default $WPP_STORE) and print its hash")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: wppbuild -o out.wpp [-chunk n -workers w] [-format wpp1|wpp2] (program.wl [arg ...] | -workload name [-scale s] | -trace in.wpt)\n")
+		fmt.Fprintf(os.Stderr, "usage: wppbuild -o out.wpp [-chunk n] [-workers w] [-format wpp1|wpp2] [-verify] [-store dir] [-debug-addr addr] [-progress interval] (program.wl [arg ...] | -workload name [-scale s] | -trace in.wpt)\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -94,6 +102,9 @@ func main() {
 	var a iwpp.Artifact
 	var rep *iwpp.BuildReport
 	var prog *wlc.Program
+	// buildKey identifies the build in the store's index; nil for raw
+	// traces, which carry no program identity worth indexing.
+	var buildKey *store.BuildKey
 	switch {
 	case *traceFile != "":
 		a, rep, err = fromTrace(*traceFile, newBuilder)
@@ -107,6 +118,7 @@ func main() {
 			fatal(serr)
 		}
 		a, rep, prog, err = fromSource(wl.Source, []int64{scale.Arg(wl)}, newBuilder)
+		buildKey = &store.BuildKey{Workload: *workload, Scale: *scaleFlag, Chunk: *chunk, Workers: *workers, Format: *format}
 	case flag.NArg() >= 1:
 		data, rerr := os.ReadFile(flag.Arg(0))
 		if rerr != nil {
@@ -121,6 +133,7 @@ func main() {
 			args = append(args, v)
 		}
 		a, rep, prog, err = fromSource(string(data), args, newBuilder)
+		buildKey = &store.BuildKey{Program: store.HashOf(data).String(), Args: args, Chunk: *chunk, Workers: *workers, Format: *format}
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -157,6 +170,24 @@ func main() {
 		ratio.Set(rep.Ratio)
 	}
 	printArtifact(a, rep, n, *out)
+	// Write-through: record the artifact (and, when the build has a
+	// stable identity, its build key) in the content-addressed store.
+	if dir := store.DirFromFlag(*storeDir); dir != "" {
+		st, serr := store.Open(dir, store.NewMetrics(reg))
+		if serr != nil {
+			fatal(serr)
+		}
+		h, _, perr := st.PutArtifact(a)
+		if perr != nil {
+			fatal(perr)
+		}
+		if buildKey != nil {
+			if rerr := st.RecordBuild(*buildKey, h); rerr != nil {
+				fatal(rerr)
+			}
+		}
+		fmt.Printf("store: %s -> %s\n", h, dir)
+	}
 	shutdown()
 }
 

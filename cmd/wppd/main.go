@@ -6,9 +6,15 @@
 //
 // Usage:
 //
-//	wppd [-addr :8324] [-dir artifacts/] [-max-sessions N] [-quota N]
-//	     [-max-body BYTES] [-inflight N] [-idle DUR] [-sweep DUR]
-//	     [-debug-addr :8325] [-progress DUR]
+//	wppd [-addr :8324] [-dir artifacts/] [-store DIR] [-max-sessions N]
+//	     [-quota N] [-max-body BYTES] [-inflight N] [-idle DUR]
+//	     [-sweep DUR] [-debug-addr :8325] [-progress DUR]
+//
+// With -store DIR (default $WPP_STORE) every sealed artifact is
+// recorded in the content-addressed store — identical chunk grammars
+// across sessions are stored once — sealed-session artifact downloads
+// stream from the store a chunk at a time, and GET /v1/artifacts/{hash}
+// serves any stored artifact by hash or unique hash prefix.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 
 	"repro/internal/obsv"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func fatal(err error) {
@@ -42,6 +49,7 @@ func main() {
 	sweep := flag.Duration("sweep", 5*time.Second, "janitor sweep period")
 	debugAddr := flag.String("debug-addr", "", "expvar/pprof/metrics listen address (empty = off)")
 	progress := flag.Duration("progress", 0, "periodic metrics dump to stderr (0 = off)")
+	storeDir := flag.String("store", "", "content-addressed store for sealed artifacts and GET /v1/artifacts/{hash} (default $WPP_STORE; empty = off)")
 	flag.Parse()
 
 	if *dir != "" {
@@ -58,6 +66,14 @@ func main() {
 	}
 	defer shutdownObsv()
 
+	var st *store.Store
+	if d := store.DirFromFlag(*storeDir); d != "" {
+		st, err = store.Open(d, store.NewMetrics(reg))
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	srv := serve.New(serve.Config{
 		MaxSessions:  *maxSessions,
 		SessionQuota: *quota,
@@ -66,6 +82,7 @@ func main() {
 		IdleTimeout:  *idle,
 		SweepEvery:   *sweep,
 		Dir:          *dir,
+		Store:        st,
 		Metrics:      met,
 	})
 	defer srv.Close()

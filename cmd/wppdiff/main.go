@@ -7,9 +7,15 @@
 // diff walks monolithic ("WPP1") and chunked ("WPC1") traces alike.
 // -spectrum needs the monolithic grammar and rejects chunked inputs.
 //
+// Either input may be a file path or a content-addressed store
+// reference ("@<hash-prefix>" or "<workload>@<scale>", resolved through
+// -store or $WPP_STORE) — diffing a fresh run against a stored baseline
+// needs no intermediate files.
+//
 // Usage:
 //
 //	wppdiff a.wpp b.wpp
+//	wppdiff -store dir @1a2b3c4d expr@medium
 //
 // Exit status: 0 if the traces are identical, 1 if they differ, 2 on
 // usage or read errors.
@@ -21,16 +27,21 @@ import (
 	"os"
 
 	"repro/internal/hotpath"
+	"repro/internal/store"
 	"repro/internal/trace"
 	iwpp "repro/internal/wpp"
 )
+
+// storeDir is the resolved store directory for ref inputs.
+var storeDir string
 
 func main() {
 	verbose := flag.Bool("v", false, "print context events around the divergence")
 	spectrum := flag.Bool("spectrum", false, "compare path-frequency spectra instead of event-by-event traces")
 	top := flag.Int("top", 20, "with -spectrum, print at most this many differing paths")
+	storeFlag := flag.String("store", "", "content-addressed store directory for @hash and name@scale inputs (default $WPP_STORE)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: wppdiff [-v] [-spectrum [-top n]] a.wpp b.wpp\n")
+		fmt.Fprintf(os.Stderr, "usage: wppdiff [-v] [-spectrum [-top n]] [-store dir] (a.wpp | @hash | workload@scale) (b.wpp | @hash | workload@scale)\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -38,6 +49,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	storeDir = store.DirFromFlag(*storeFlag)
 	a, err := load(flag.Arg(0))
 	if err != nil {
 		fatal(err)
@@ -145,7 +157,7 @@ func (a artifact) funcs() []iwpp.FuncInfo {
 }
 
 func load(path string) (artifact, error) {
-	f, err := os.Open(path)
+	f, err := store.OpenInput(path, storeDir)
 	if err != nil {
 		return artifact{}, err
 	}

@@ -4,9 +4,14 @@
 // Chunked artifacts are analyzed per chunk on -workers goroutines; the
 // answers are identical to the monolithic analysis of the same trace.
 //
+// The input may be a file path or a content-addressed store reference
+// ("@<hash-prefix>" or "<workload>@<scale>", resolved through -store or
+// $WPP_STORE).
+//
 // Usage:
 //
 //	wpphot [-min 4] [-max 16] [-threshold 0.01] [-top 20] [-scan] [-workers 0] file.wpp
+//	wpphot -store dir expr@medium
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 
 	"repro/internal/hotpath"
 	"repro/internal/obsv"
+	"repro/internal/store"
 	"repro/internal/trace"
 	iwpp "repro/internal/wpp"
 )
@@ -30,8 +36,9 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrency for per-chunk analysis of chunked artifacts (0 = all cores)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :6060)")
 	progress := flag.Duration("progress", 0, "emit a progress line to stderr at this interval (e.g. 1s)")
+	storeDir := flag.String("store", "", "content-addressed store directory for @hash and name@scale inputs (default $WPP_STORE)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: wpphot [flags] file.wpp\n")
+		fmt.Fprintf(os.Stderr, "usage: wpphot [flags] (file.wpp | @hash | workload@scale)\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -47,7 +54,7 @@ func main() {
 		fatal(err)
 	}
 	defer shutdown()
-	f, err := os.Open(flag.Arg(0))
+	f, err := store.OpenInput(flag.Arg(0), store.DirFromFlag(*storeDir))
 	if err != nil {
 		fatal(err)
 	}

@@ -21,10 +21,16 @@
 // function. A dynamically observed path the analysis calls infeasible is
 // a soundness violation and exits nonzero.
 //
+// The input may be a file path or a content-addressed store reference:
+// "@<hash-prefix>" reads a stored artifact, "<workload>@<scale>" lazily
+// builds (or reuses) the named bundled workload. Refs need a store
+// directory, from -store or $WPP_STORE.
+//
 // Usage:
 //
 //	wppstats [-dump n] [-profile n] [-funcs] [-dot] file.wpp
 //	wppstats -verify [-workload name] file.wpp
+//	wppstats -store dir @1a2b3c4d
 //	wppstats -coverage -workload name file.wpp
 package main
 
@@ -38,6 +44,7 @@ import (
 	"repro/internal/dataflow"
 	"repro/internal/hotpath"
 	"repro/internal/interp"
+	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/wlc"
 	"repro/internal/workloads"
@@ -52,8 +59,9 @@ func main() {
 	verify := flag.Bool("verify", false, "deep-verify the artifact (grammar invariants, path-ID bounds) before printing statistics")
 	workload := flag.String("workload", "", "with -verify or -coverage: cross-check against this built-in workload")
 	coverage := flag.Bool("coverage", false, "with -workload: print per-function path coverage (observed/feasible/total) and exit; nonzero if an observed path is statically infeasible")
+	storeDir := flag.String("store", "", "content-addressed store directory for @hash and name@scale inputs (default $WPP_STORE)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: wppstats [-dump n] [-profile n] [-funcs] [-dot] [-verify [-workload name]] [-coverage -workload name] file.wpp\n")
+		fmt.Fprintf(os.Stderr, "usage: wppstats [-dump n] [-profile n] [-funcs] [-dot] [-verify [-workload name]] [-coverage -workload name] [-store dir] (file.wpp | @hash | workload@scale)\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -61,7 +69,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	f, err := os.Open(flag.Arg(0))
+	f, err := store.OpenInput(flag.Arg(0), store.DirFromFlag(*storeDir))
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,247 @@
+package experiments
+
+// StoreBench is the content-addressed-store trajectory: for every
+// workload at each requested scale it measures the cold Resolve (a cache
+// miss that runs the workload, builds the artifact, and stores it), the
+// warm Resolve (a pure store read reassembling the artifact from its
+// chunk objects), and the dedup the store achieves when an identical run
+// is stored again — the repeated-nightly-run scenario the store exists
+// for. Every number comes from the store's own obsv counters, so the
+// trajectory also pins the contract that a warm Resolve performs no
+// build. cmd/wppbench serializes the result to BENCH_store.json and
+// renders an old/new comparison when a previous trajectory exists.
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/obsv"
+	"repro/internal/store"
+	iwpp "repro/internal/wpp"
+)
+
+// StoreBenchSchema identifies the trajectory file format.
+const StoreBenchSchema = "wpp/storebench/v1"
+
+// StoreBenchRow is one workload-at-scale measurement.
+type StoreBenchRow struct {
+	Name  string `json:"name"`
+	Scale string `json:"scale"`
+	// ArtifactBytes is the encoded artifact size; Parts is how many CAS
+	// objects it spans (header + one per chunk grammar).
+	ArtifactBytes int64 `json:"artifact_bytes"`
+	Parts         int   `json:"parts"`
+	// ColdResolveMS is the cache-miss Resolve: interpreter run, build,
+	// encode, and store write. WarmResolveMS is the best-of-reps
+	// cache-hit Resolve: manifest load plus per-object reassembly and
+	// hash verification. Speedup is cold/warm.
+	ColdResolveMS float64 `json:"cold_resolve_ms"`
+	WarmResolveMS float64 `json:"warm_resolve_ms"`
+	Speedup       float64 `json:"speedup"`
+	// RepeatNewObjects counts objects a second identical run's store
+	// write created (0 = perfect dedup); RepeatDedupedBytes counts the
+	// bytes that second write shared with the first.
+	RepeatNewObjects   uint64 `json:"repeat_new_objects"`
+	RepeatDedupedBytes uint64 `json:"repeat_deduped_bytes"`
+}
+
+// StoreBenchResult is the serialized trajectory point.
+type StoreBenchResult struct {
+	Schema  string          `json:"schema"`
+	Scales  []string        `json:"scales"`
+	Chunk   uint64          `json:"chunk"`
+	Workers int             `json:"workers"`
+	Format  string          `json:"format"`
+	Reps    int             `json:"reps"`
+	Go      string          `json:"go"`
+	Rows    []StoreBenchRow `json:"rows"`
+	// Store-wide accounting over the whole run: every byte handed to
+	// PutObject either landed as a new object or deduped against one
+	// already present. DedupRatio is deduped / (written + deduped).
+	BytesWritten uint64  `json:"bytes_written"`
+	BytesDeduped uint64  `json:"bytes_deduped"`
+	DedupRatio   float64 `json:"dedup_ratio"`
+}
+
+// StoreBench measures the store on the named workloads across the given
+// scales, using a throwaway store directory. chunk and workers shape the
+// build; reps is best-of for the warm read.
+func StoreBench(scales []Scale, names []string, chunk uint64, workers, reps int) (*StoreBenchResult, *Table, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	dir, err := os.MkdirTemp("", "wpp-storebench-*")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer os.RemoveAll(dir)
+	met := store.NewMetrics(obsv.NewRegistry())
+	st, err := store.Open(dir, met)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	res := &StoreBenchResult{
+		Schema:  StoreBenchSchema,
+		Chunk:   chunk,
+		Workers: workers,
+		Format:  "wpp2",
+		Reps:    reps,
+		Go:      runtime.Version(),
+	}
+	for _, s := range scales {
+		res.Scales = append(res.Scales, s.String())
+	}
+	for _, s := range scales {
+		for _, name := range names {
+			row, err := storeBenchRow(st, met, name, s, chunk, workers, reps)
+			if err != nil {
+				return nil, nil, fmt.Errorf("storebench %s@%s: %w", name, s, err)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	res.BytesWritten = met.BytesWritten.Value()
+	res.BytesDeduped = met.BytesDeduped.Value()
+	if total := res.BytesWritten + res.BytesDeduped; total > 0 {
+		res.DedupRatio = float64(res.BytesDeduped) / float64(total)
+	}
+	return res, res.Table(), nil
+}
+
+func storeBenchRow(st *store.Store, met *store.Metrics, name string, s Scale, chunk uint64, workers, reps int) (StoreBenchRow, error) {
+	row := StoreBenchRow{Name: name, Scale: s.String()}
+	key := store.BuildKey{Workload: name, Scale: s.String(), Chunk: chunk, Workers: workers, Format: "wpp2"}
+
+	buildsBefore := met.ResolveBuilds.Value()
+	var cold store.ResolveResult
+	var err error
+	dCold := timeOnce(func() { cold, err = st.Resolve(key, store.DefaultBuild(key)) })
+	if err != nil {
+		return row, err
+	}
+	if cold.Hit {
+		return row, fmt.Errorf("first resolve hit a cache that should be cold")
+	}
+	row.ArtifactBytes = int64(len(cold.Bytes))
+	row.ColdResolveMS = 1e3 * dCold.Seconds()
+	m, err := st.Manifest(cold.Hash)
+	if err != nil {
+		return row, err
+	}
+	row.Parts = len(m.Parts)
+
+	var bestWarm time.Duration
+	for i := 0; i < reps; i++ {
+		var warm store.ResolveResult
+		d := timeOnce(func() { warm, err = st.Resolve(key, store.DefaultBuild(key)) })
+		if err != nil {
+			return row, err
+		}
+		if !warm.Hit {
+			return row, fmt.Errorf("repeat resolve missed a warm cache")
+		}
+		if i == 0 || d < bestWarm {
+			bestWarm = d
+		}
+	}
+	// The contract the trajectory pins: warm resolves never build.
+	if got := met.ResolveBuilds.Value(); got != buildsBefore+1 {
+		return row, fmt.Errorf("resolve built %d times, want exactly 1", got-buildsBefore)
+	}
+	row.WarmResolveMS = 1e3 * bestWarm.Seconds()
+	if bestWarm > 0 {
+		row.Speedup = dCold.Seconds() / bestWarm.Seconds()
+	}
+
+	// The repeated-run scenario: an independent build of the same tuple
+	// produces byte-identical chunk grammars, so storing it again writes
+	// nothing new. The rebuild is stamped to the key's format exactly as
+	// Resolve stamps its own builds.
+	a, err := store.DefaultBuild(key)()
+	if err != nil {
+		return row, err
+	}
+	iwpp.SetVersion(a, iwpp.FormatV2)
+	wrote, deduped := met.ObjectsWritten.Value(), met.BytesDeduped.Value()
+	if _, _, err := st.PutArtifact(a); err != nil {
+		return row, err
+	}
+	row.RepeatNewObjects = met.ObjectsWritten.Value() - wrote
+	row.RepeatDedupedBytes = met.BytesDeduped.Value() - deduped
+	return row, nil
+}
+
+// Table renders the trajectory point for humans.
+func (r *StoreBenchResult) Table() *Table {
+	tbl := &Table{
+		ID:     "C1",
+		Title:  fmt.Sprintf("content-addressed store: resolve latency and repeat-run dedup (chunk=%d, workers=%d, %s, best of %d)", r.Chunk, r.Workers, r.Format, r.Reps),
+		Header: []string{"workload", "scale", "bytes", "parts", "cold ms", "warm ms", "speedup", "repeat new objs", "repeat dedup"},
+		Notes: []string{
+			"cold = cache-miss Resolve (interpreter run + build + store write); warm = cache-hit Resolve (reassemble + verify from CAS objects)",
+			"repeat columns store an independent rebuild of the same tuple: 0 new objects means every chunk grammar deduped",
+			fmt.Sprintf("store-wide: %d bytes written, %d deduped (ratio %.3f)", r.BytesWritten, r.BytesDeduped, r.DedupRatio),
+		},
+	}
+	for _, w := range r.Rows {
+		tbl.Rows = append(tbl.Rows, []string{
+			w.Name,
+			w.Scale,
+			fmt.Sprintf("%d", w.ArtifactBytes),
+			fmt.Sprintf("%d", w.Parts),
+			fmt.Sprintf("%.2f", w.ColdResolveMS),
+			fmt.Sprintf("%.3f", w.WarmResolveMS),
+			fmt.Sprintf("%.0fx", w.Speedup),
+			fmt.Sprintf("%d", w.RepeatNewObjects),
+			fmt.Sprintf("%dB", w.RepeatDedupedBytes),
+		})
+	}
+	return tbl
+}
+
+// CompareStoreBench renders an old-vs-new table from two trajectory
+// points, matched by workload and scale. A nil old yields a baseline
+// notice.
+func CompareStoreBench(old, cur *StoreBenchResult) *Table {
+	tbl := &Table{
+		ID:     "C1Δ",
+		Title:  "store warm-resolve latency vs previous trajectory",
+		Header: []string{"workload", "scale", "warm old", "warm new", "delta", "dedup old", "dedup new"},
+	}
+	if old == nil {
+		tbl.Notes = append(tbl.Notes, "no previous trajectory file; baseline recorded")
+		return tbl
+	}
+	if old.Chunk != cur.Chunk || old.Workers != cur.Workers {
+		tbl.Notes = append(tbl.Notes, "configs differ; deltas are indicative only")
+	}
+	type keyT struct{ name, scale string }
+	prev := map[keyT]StoreBenchRow{}
+	for _, w := range old.Rows {
+		prev[keyT{w.Name, w.Scale}] = w
+	}
+	for _, w := range cur.Rows {
+		p, ok := prev[keyT{w.Name, w.Scale}]
+		if !ok {
+			continue
+		}
+		delta := "n/a"
+		if p.WarmResolveMS > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(w.WarmResolveMS-p.WarmResolveMS)/p.WarmResolveMS)
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			w.Name, w.Scale,
+			fmt.Sprintf("%.3fms", p.WarmResolveMS),
+			fmt.Sprintf("%.3fms", w.WarmResolveMS),
+			delta,
+			fmt.Sprintf("%dB", p.RepeatDedupedBytes),
+			fmt.Sprintf("%dB", w.RepeatDedupedBytes),
+		})
+	}
+	tbl.Notes = append(tbl.Notes,
+		fmt.Sprintf("dedup ratio: %.3f -> %.3f", old.DedupRatio, cur.DedupRatio))
+	return tbl
+}

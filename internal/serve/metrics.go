@@ -27,10 +27,11 @@ type Metrics struct {
 	IngestLatency  *obsv.Histogram // wall time per accepted event POST
 
 	// Query + seal path.
-	HotQueries    *obsv.Counter
-	HotLatency    *obsv.Histogram
-	SealLatency   *obsv.Histogram
-	ArtifactBytes *obsv.Counter // encoded artifact bytes produced by seals
+	HotQueries          *obsv.Counter
+	HotLatency          *obsv.Histogram
+	SealLatency         *obsv.Histogram
+	ArtifactBytes       *obsv.Counter // encoded artifact bytes produced by seals
+	ArtifactBytesServed *obsv.Counter // stored-artifact bytes streamed to clients
 
 	// HeapBytes samples runtime heap allocation at every janitor sweep,
 	// so a soak run can watch steady-state memory from the obsv snapshot.
@@ -55,22 +56,23 @@ func NewMetrics(r *obsv.Registry) *Metrics {
 		2 * time.Second,
 	}
 	return &Metrics{
-		SessionsOpen:    r.Gauge("serve_sessions_open"),
-		SessionsOpened:  r.Counter("serve_sessions_opened_total"),
-		SessionsSealed:  r.Counter("serve_sessions_sealed_total"),
-		SessionsEvicted: r.Counter("serve_sessions_evicted_total"),
-		EventsIngested:  r.Counter("serve_events_ingested_total"),
-		IngestRequests:  r.Counter("serve_ingest_requests_total"),
-		IngestRejected:  r.Counter("serve_ingest_rejected_total"),
-		IngestErrors:    r.Counter("serve_ingest_errors_total"),
-		QueueDepth:      r.Gauge("serve_ingest_queue_depth"),
-		IngestLatency:   r.Histogram("serve_ingest_seconds", lat),
-		HotQueries:      r.Counter("serve_hot_queries_total"),
-		HotLatency:      r.Histogram("serve_hot_seconds", lat),
-		SealLatency:     r.Histogram("serve_seal_seconds", lat),
-		ArtifactBytes:   r.Counter("serve_artifact_bytes_total"),
-		HeapBytes:       r.Gauge("serve_heap_alloc_bytes"),
-		Build:           iwpp.NewBuildMetrics(r),
+		SessionsOpen:        r.Gauge("serve_sessions_open"),
+		SessionsOpened:      r.Counter("serve_sessions_opened_total"),
+		SessionsSealed:      r.Counter("serve_sessions_sealed_total"),
+		SessionsEvicted:     r.Counter("serve_sessions_evicted_total"),
+		EventsIngested:      r.Counter("serve_events_ingested_total"),
+		IngestRequests:      r.Counter("serve_ingest_requests_total"),
+		IngestRejected:      r.Counter("serve_ingest_rejected_total"),
+		IngestErrors:        r.Counter("serve_ingest_errors_total"),
+		QueueDepth:          r.Gauge("serve_ingest_queue_depth"),
+		IngestLatency:       r.Histogram("serve_ingest_seconds", lat),
+		HotQueries:          r.Counter("serve_hot_queries_total"),
+		HotLatency:          r.Histogram("serve_hot_seconds", lat),
+		SealLatency:         r.Histogram("serve_seal_seconds", lat),
+		ArtifactBytes:       r.Counter("serve_artifact_bytes_total"),
+		ArtifactBytesServed: r.Counter("serve_artifact_bytes_served_total"),
+		HeapBytes:           r.Gauge("serve_heap_alloc_bytes"),
+		Build:               iwpp.NewBuildMetrics(r),
 	}
 }
 

@@ -67,9 +67,9 @@ func TestConcurrentSessions(t *testing.T) {
 			}
 			id := info.ID
 
-			faulty := n%8 == 3      // malformed-frame cohort
-			disconnect := n%8 == 5  // mid-stream abandon cohort
-			doubleSeal := n%8 == 7  // duplicate-seal cohort
+			faulty := n%8 == 3     // malformed-frame cohort
+			disconnect := n%8 == 5 // mid-stream abandon cohort
+			doubleSeal := n%8 == 7 // duplicate-seal cohort
 
 			batch := 512 + rng.Intn(4096)
 			total := len(cap.Events)

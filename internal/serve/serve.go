@@ -16,6 +16,7 @@ import (
 	"repro/internal/bl"
 	"repro/internal/hotpath"
 	"repro/internal/interp"
+	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/wlc"
 	"repro/internal/workloads"
@@ -47,6 +48,11 @@ type Config struct {
 	SweepEvery time.Duration
 	// Dir, when set, persists every sealed artifact as Dir/<id>.wpp.
 	Dir string
+	// Store, when set, records every sealed artifact in the
+	// content-addressed store (chunk grammars dedup across sessions),
+	// switches sealed-session /artifact delivery to chunk-at-a-time
+	// streaming from the store, and enables GET /v1/artifacts/{hash}.
+	Store *store.Store
 	// Metrics instruments the daemon; nil runs uninstrumented.
 	Metrics *Metrics
 	// Now is the clock (tests inject a fake); nil means time.Now.
@@ -193,6 +199,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{id}/seal", s.handleSeal)
 	mux.HandleFunc("GET /v1/sessions/{id}/hot", s.handleHot)
 	mux.HandleFunc("GET /v1/sessions/{id}/artifact", s.handleArtifact)
+	mux.HandleFunc("GET /v1/artifacts/{hash}", s.handleStoredArtifact)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleEvict)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
@@ -478,6 +485,26 @@ func (s *Server) handleSeal(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Write-through to the content-addressed store, then drop the
+	// resident encoding: /artifact streams from the store afterwards,
+	// and identical chunk grammars from other sessions dedup.
+	if s.cfg.Store != nil {
+		if a, enc, ok := ss.sealedForStore(); ok {
+			h, _, err := s.cfg.Store.PutArtifactEncoded(a, enc)
+			if err != nil {
+				writeErr(w, errf(http.StatusInternalServerError, "storing artifact: %v", err))
+				return
+			}
+			if h.String() != res.SHA256 {
+				// The store hash IS the seal digest by construction; a
+				// mismatch means memory corruption, not client error.
+				writeErr(w, errf(http.StatusInternalServerError,
+					"store hash %s disagrees with seal digest %s", h, res.SHA256))
+				return
+			}
+			ss.offload(s.cfg.Store, h)
+		}
+	}
 	writeJSON(w, http.StatusOK, res)
 }
 
@@ -533,14 +560,63 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, aerr)
 		return
 	}
-	enc, aerr := ss.artifactBytes()
+	enc, st, h, aerr := ss.artifactSource()
 	if aerr != nil {
 		writeErr(w, aerr)
 		return
 	}
+	if st == nil {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.Itoa(len(enc)))
+		w.Write(enc) //nolint:errcheck // client gone = nothing to do
+		return
+	}
+	s.streamArtifact(w, st, h)
+}
+
+// handleStoredArtifact serves any artifact in the content-addressed
+// store by hash (full or unique prefix) — sealed sessions that were
+// evicted long ago stay fetchable as long as the store holds them.
+func (s *Server) handleStoredArtifact(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Store == nil {
+		writeErr(w, errf(http.StatusNotFound, "no artifact store configured"))
+		return
+	}
+	ref := r.PathValue("hash")
+	h, err := s.cfg.Store.FindArtifact(ref)
+	if err != nil {
+		if errors.Is(err, store.ErrNotFound) {
+			writeErr(w, errf(http.StatusNotFound, "%v", err))
+		} else {
+			writeErr(w, errf(http.StatusBadRequest, "%v", err))
+		}
+		return
+	}
+	s.streamArtifact(w, s.cfg.Store, h)
+}
+
+// streamArtifact copies one stored artifact to the response a part at a
+// time — for chunked artifacts, one chunk grammar resident at once.
+func (s *Server) streamArtifact(w http.ResponseWriter, st *store.Store, h store.Hash) {
+	rd, size, err := st.ArtifactReader(h)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, store.ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		writeErr(w, errf(status, "reading stored artifact: %v", err))
+		return
+	}
+	defer rd.Close()
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("Content-Length", strconv.Itoa(len(enc)))
-	w.Write(enc) //nolint:errcheck // client gone = nothing to do
+	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	w.Header().Set("X-WPP-Hash", h.String())
+	n, err := io.Copy(w, rd)
+	if err == nil {
+		s.met.ArtifactBytesServed.Add(uint64(n))
+	}
+	// Past the header there is no way to signal a mid-stream store
+	// fault; the short body (Content-Length mismatch) tells the client.
 }
 
 func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/bl"
 	"repro/internal/hotpath"
+	"repro/internal/store"
 	"repro/internal/trace"
 	iwpp "repro/internal/wpp"
 )
@@ -63,6 +64,13 @@ type session struct {
 	artifact iwpp.Artifact
 	encoded  []byte
 	sha      string
+
+	// stored, when non-nil, means the sealed encoding has been offloaded
+	// to the content-addressed store under storedHash; /artifact streams
+	// it from there (one chunk object in memory at a time) instead of
+	// holding the whole encoding resident.
+	stored     *store.Store
+	storedHash store.Hash
 
 	// lastActive is a unix-nano timestamp updated on every touch; the
 	// janitor reads it without taking the session lock.
@@ -309,17 +317,46 @@ func (ss *session) hotQuery(opts hotpath.Options, k int) (HotResult, *apiError) 
 	return res, nil
 }
 
-// artifactBytes returns the sealed encoding.
-func (ss *session) artifactBytes() ([]byte, *apiError) {
+// artifactSource returns where the sealed encoding lives: in-memory
+// bytes (st == nil), or the store and hash to stream it from.
+func (ss *session) artifactSource() (enc []byte, st *store.Store, h store.Hash, aerr *apiError) {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	switch ss.state {
 	case sessGone:
-		return nil, errf(http.StatusGone, "session %s was evicted", ss.id)
+		return nil, nil, store.Hash{}, errf(http.StatusGone, "session %s was evicted", ss.id)
 	case sessOpen:
-		return nil, errf(http.StatusConflict, "session %s is not sealed", ss.id)
+		return nil, nil, store.Hash{}, errf(http.StatusConflict, "session %s is not sealed", ss.id)
 	}
-	return ss.encoded, nil
+	if ss.stored != nil {
+		return nil, ss.stored, ss.storedHash, nil
+	}
+	return ss.encoded, nil, store.Hash{}, nil
+}
+
+// sealedForStore hands out the artifact and its encoding for the
+// write-through store path; false when the session is not sealed or the
+// encoding was already offloaded.
+func (ss *session) sealedForStore() (iwpp.Artifact, []byte, bool) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.state != sessSealed || ss.encoded == nil {
+		return nil, nil, false
+	}
+	return ss.artifact, ss.encoded, true
+}
+
+// offload releases the resident encoding in favor of store-backed
+// delivery. The artifact itself stays resident for /hot queries.
+func (ss *session) offload(st *store.Store, h store.Hash) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.state != sessSealed {
+		return
+	}
+	ss.stored = st
+	ss.storedHash = h
+	ss.encoded = nil
 }
 
 // numPathsOf projects the per-function path counts used for ingest

@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"testing"
+
+	"repro/internal/obsv"
+	"repro/internal/store"
+	iwpp "repro/internal/wpp"
+)
+
+// newStoreServer builds a daemon backed by a fresh content-addressed
+// store and returns the store alongside the usual server/client pair.
+func newStoreServer(t *testing.T) (*store.Store, *Server, *Client) {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), store.NewMetrics(obsv.NewRegistry()))
+	if err != nil {
+		t.Fatalf("opening store: %v", err)
+	}
+	srv, c := newTestServer(t, Config{Store: st})
+	return st, srv, c
+}
+
+// sealWorkload opens a session for workload name, streams its capture,
+// and seals it, returning the session info and seal result.
+func sealWorkload(t *testing.T, c *Client, name string, chunk uint64, format string) (SessionInfo, SealResult) {
+	t.Helper()
+	cap := capture(t, name)
+	info, err := c.Open(OpenRequest{Workload: name, Chunk: chunk, Format: format})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	stream(t, c, info.ID, cap.Events, 2048)
+	res, err := c.Seal(info.ID, cap.Instructions)
+	if err != nil {
+		t.Fatalf("seal: %v", err)
+	}
+	return info, res
+}
+
+// TestSealWritesThroughToStore is the acceptance criterion for the
+// daemon half of the store: sealing records the artifact in the CAS
+// under the seal digest, the session's /artifact download streams the
+// identical bytes from the store (the resident encoding is offloaded),
+// and GET /v1/artifacts/{hash} serves the same bytes to anyone holding
+// the hash — session or no session.
+func TestSealWritesThroughToStore(t *testing.T) {
+	st, _, c := newStoreServer(t)
+	cap := capture(t, "expr")
+	want := localBuild(t, cap, 8192, iwpp.FormatV1)
+
+	info, res := sealWorkload(t, c, "expr", 8192, "")
+
+	// The store holds the sealed bytes under the published digest.
+	h, err := store.ParseHash(res.SHA256)
+	if err != nil {
+		t.Fatalf("seal SHA %q does not parse as a store hash: %v", res.SHA256, err)
+	}
+	stored, err := st.GetArtifact(h)
+	if err != nil {
+		t.Fatalf("store lookup of sealed artifact: %v", err)
+	}
+	if !bytes.Equal(stored, want) {
+		t.Fatalf("store holds %d bytes, batch build is %d", len(stored), len(want))
+	}
+	m, err := st.Manifest(h)
+	if err != nil {
+		t.Fatalf("manifest: %v", err)
+	}
+	if m.Kind != "chunked" || len(m.Parts) < 2 {
+		t.Errorf("chunked seal stored as kind=%q with %d parts", m.Kind, len(m.Parts))
+	}
+
+	// The session download now streams from the store and is still
+	// byte-identical to the batch pipeline.
+	got, err := c.Artifact(info.ID)
+	if err != nil {
+		t.Fatalf("artifact: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("offloaded artifact differs from batch build: %d vs %d bytes", len(got), len(want))
+	}
+
+	// Anyone with the hash (or a unique prefix) can fetch the same
+	// bytes without a session.
+	for _, ref := range []string{res.SHA256, res.SHA256[:12]} {
+		body, hdr := httpGetArtifact(t, c, ref, http.StatusOK)
+		if !bytes.Equal(body, want) {
+			t.Fatalf("GET /v1/artifacts/%s returned %d bytes, want %d", ref, len(body), len(want))
+		}
+		if hdr != res.SHA256 {
+			t.Errorf("X-WPP-Hash = %q, want %q", hdr, res.SHA256)
+		}
+	}
+}
+
+// httpGetArtifact fetches /v1/artifacts/{ref} raw, asserting the status
+// and returning the body and X-WPP-Hash header.
+func httpGetArtifact(t *testing.T, c *Client, ref string, wantStatus int) ([]byte, string) {
+	t.Helper()
+	resp, err := http.Get(c.Base + "/v1/artifacts/" + ref)
+	if err != nil {
+		t.Fatalf("GET artifact %s: %v", ref, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading artifact body: %v", err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET artifact %s: status %d, want %d (body %q)", ref, resp.StatusCode, wantStatus, body)
+	}
+	return body, resp.Header.Get("X-WPP-Hash")
+}
+
+// TestStoreDedupAcrossSessions seals the same workload twice and checks
+// the second seal stores nothing new: same hash, one manifest, and the
+// store's dedup counters account for every part of the repeat.
+func TestStoreDedupAcrossSessions(t *testing.T) {
+	reg := obsv.NewRegistry()
+	met := store.NewMetrics(reg)
+	st, err := store.Open(t.TempDir(), met)
+	if err != nil {
+		t.Fatalf("opening store: %v", err)
+	}
+	_, c := newTestServer(t, Config{Store: st})
+
+	_, res1 := sealWorkload(t, c, "lexer", 4096, "wpp2")
+	written := met.ObjectsWritten.Value()
+	_, res2 := sealWorkload(t, c, "lexer", 4096, "wpp2")
+
+	if res1.SHA256 != res2.SHA256 {
+		t.Fatalf("identical sessions sealed to different digests: %s vs %s", res1.SHA256, res2.SHA256)
+	}
+	if got := met.ObjectsWritten.Value(); got != written {
+		t.Errorf("second seal wrote %d new objects, want 0", got-written)
+	}
+	if met.ObjectsDeduped.Value() == 0 {
+		t.Error("second seal deduped no objects")
+	}
+	all, err := st.Artifacts()
+	if err != nil {
+		t.Fatalf("listing artifacts: %v", err)
+	}
+	if len(all) != 1 {
+		t.Fatalf("store holds %d artifacts after duplicate seals, want 1", len(all))
+	}
+}
+
+// TestOffloadedSessionStillAnswersHot checks that dropping the resident
+// encoding after write-through does not break sealed /hot queries: the
+// artifact object itself stays resident.
+func TestOffloadedSessionStillAnswersHot(t *testing.T) {
+	_, _, c := newStoreServer(t)
+	info, _ := sealWorkload(t, c, "expr", 8192, "")
+	res, err := c.Hot(info.ID, HotQuery{MinLen: 4, MaxLen: 16, Threshold: 0.001})
+	if err != nil {
+		t.Fatalf("hot after offload: %v", err)
+	}
+	if !res.Sealed || len(res.Subpaths) == 0 {
+		t.Fatalf("hot after offload: sealed=%v, %d subpaths", res.Sealed, len(res.Subpaths))
+	}
+}
+
+// TestMonoSealStoresBlob checks the monolithic format takes the blob
+// path through the store and still round-trips.
+func TestMonoSealStoresBlob(t *testing.T) {
+	st, _, c := newStoreServer(t)
+	cap := capture(t, "sort")
+	want := localBuild(t, cap, 0, iwpp.FormatV2)
+	info, res := sealWorkload(t, c, "sort", 0, "wpp2")
+
+	h, err := store.ParseHash(res.SHA256)
+	if err != nil {
+		t.Fatalf("parsing seal SHA: %v", err)
+	}
+	m, err := st.Manifest(h)
+	if err != nil {
+		t.Fatalf("manifest: %v", err)
+	}
+	if m.Kind != "blob" || len(m.Parts) != 1 {
+		t.Errorf("mono seal stored as kind=%q with %d parts", m.Kind, len(m.Parts))
+	}
+	got, err := c.Artifact(info.ID)
+	if err != nil {
+		t.Fatalf("artifact: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("mono artifact differs from batch build")
+	}
+}
+
+// TestArtifactEndpointErrors pins the endpoint's failure modes: unknown
+// hashes 404, malformed refs 400, and a daemon with no store 404s
+// everything.
+func TestArtifactEndpointErrors(t *testing.T) {
+	_, _, c := newStoreServer(t)
+	httpGetArtifact(t, c, "deadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeef", http.StatusNotFound)
+	httpGetArtifact(t, c, "xyz", http.StatusBadRequest)
+
+	_, c2 := newTestServer(t, Config{})
+	httpGetArtifact(t, c2, "deadbeef", http.StatusNotFound)
+}

@@ -1,0 +1,94 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/obsv"
+)
+
+// FuzzManifestDecode hardens the manifest parser against arbitrary
+// JSON: it must never panic, and anything it accepts must satisfy the
+// invariants the rest of the store assumes (parseable hashes, a valid
+// kind, a blob having exactly one part).
+func FuzzManifestDecode(f *testing.F) {
+	valid, _ := json.Marshal(Manifest{
+		Schema:   ManifestSchema,
+		Artifact: HashOf([]byte("a")).String(),
+		Format:   "WPC1",
+		Kind:     "chunked",
+		Size:     12,
+		Parts:    []string{HashOf([]byte("h")).String(), HashOf([]byte("c")).String()},
+	})
+	f.Add(valid)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"schema":"wpp-store/v1","kind":"blob","parts":[]}`))
+	f.Add([]byte(`{"schema":"wpp-store/v1","kind":"chunked","size":-1}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeManifest(data)
+		if err != nil {
+			return
+		}
+		if m.Schema != ManifestSchema {
+			t.Fatalf("accepted schema %q", m.Schema)
+		}
+		if _, err := ParseHash(m.Artifact); err != nil {
+			t.Fatalf("accepted unparseable artifact hash: %v", err)
+		}
+		if _, err := m.partHashes(); err != nil {
+			t.Fatalf("accepted unparseable part: %v", err)
+		}
+		switch m.Kind {
+		case "blob":
+			if len(m.Parts) != 1 {
+				t.Fatalf("blob with %d parts", len(m.Parts))
+			}
+		case "chunked":
+			if len(m.Parts) == 0 {
+				t.Fatal("chunked with no parts")
+			}
+		default:
+			t.Fatalf("accepted kind %q", m.Kind)
+		}
+	})
+}
+
+// FuzzStorePut round-trips arbitrary bytes through the object CAS:
+// every put must read back byte-identical under its content hash, and
+// re-putting must dedup rather than rewrite.
+func FuzzStorePut(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("hello"))
+	f.Add(bytes.Repeat([]byte{0xa5}, 1<<12))
+	dir := f.TempDir()
+	met := NewMetrics(obsv.NewRegistry())
+	s, err := Open(dir, met)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, _, err := s.PutObject(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h != HashOf(data) {
+			t.Fatal("object stored under a hash that is not its content hash")
+		}
+		got, err := s.GetObject(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("round trip diverges: %d bytes in, %d out", len(data), len(got))
+		}
+		h2, fresh, err := s.PutObject(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fresh || h2 != h {
+			t.Fatal("re-put did not dedup")
+		}
+	})
+}

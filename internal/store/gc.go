@@ -1,0 +1,110 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// GCStats summarizes one garbage collection.
+type GCStats struct {
+	// Artifacts is the number of manifests whose parts were marked
+	// live.
+	Artifacts int
+	// ObjectsKept and ObjectsRemoved partition the object population;
+	// BytesRemoved is the disk reclaimed.
+	ObjectsKept    int
+	ObjectsRemoved int
+	BytesRemoved   int64
+	// DanglingIndex counts build-index entries whose artifact manifest
+	// is missing. GC reports them but leaves them in place — an index
+	// entry is a claim about a past build, not a liveness root, and
+	// deleting claims is not the collector's call.
+	DanglingIndex int
+}
+
+// GC removes every object not referenced by any artifact manifest.
+// Mark: the union of all manifests' part lists. Sweep: everything else
+// under objects/. Manifests and index entries are never collected, so
+// every indexed artifact remains readable byte-identically afterwards.
+// An unparsable manifest aborts the collection before anything is
+// deleted — GC never guesses at liveness.
+func (s *Store) GC() (GCStats, error) {
+	var st GCStats
+	live := map[Hash]bool{}
+	arts, err := s.Artifacts()
+	if err != nil {
+		return st, err
+	}
+	for _, h := range arts {
+		m, err := s.Manifest(h)
+		if err != nil {
+			return st, fmt.Errorf("store: gc aborted: %w", err)
+		}
+		parts, err := m.partHashes()
+		if err != nil {
+			return st, fmt.Errorf("store: gc aborted: %w", err)
+		}
+		for _, p := range parts {
+			live[p] = true
+		}
+		st.Artifacts++
+	}
+	objRoot := filepath.Join(s.dir, "objects")
+	err = filepath.WalkDir(objRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(objRoot, path)
+		if err != nil {
+			return err
+		}
+		// objects/<2-hex>/<62-hex>; anything else is not ours to sweep.
+		h, perr := ParseHash(filepath.Dir(rel) + filepath.Base(rel))
+		if perr != nil {
+			return nil
+		}
+		if live[h] {
+			st.ObjectsKept++
+			return nil
+		}
+		fi, err := d.Info()
+		if err != nil {
+			return err
+		}
+		if err := os.Remove(path); err != nil {
+			return err
+		}
+		st.ObjectsRemoved++
+		st.BytesRemoved += fi.Size()
+		return nil
+	})
+	if err != nil {
+		return st, fmt.Errorf("store: gc sweep: %w", err)
+	}
+	// Audit the index for dangling entries (informational only).
+	idxEntries, err := os.ReadDir(filepath.Join(s.dir, "index"))
+	if err != nil {
+		return st, fmt.Errorf("store: gc: %w", err)
+	}
+	for _, ent := range idxEntries {
+		data, err := os.ReadFile(filepath.Join(s.dir, "index", ent.Name()))
+		if err != nil {
+			continue
+		}
+		var rec indexEntry
+		if json.Unmarshal(data, &rec) != nil {
+			continue
+		}
+		h, err := ParseHash(rec.Artifact)
+		if err != nil {
+			st.DanglingIndex++
+			continue
+		}
+		if _, err := os.Stat(s.manifestPath(h)); err != nil {
+			st.DanglingIndex++
+		}
+	}
+	return st, nil
+}

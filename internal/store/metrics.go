@@ -1,0 +1,54 @@
+package store
+
+import "repro/internal/obsv"
+
+// Metrics is the store's instrumentation hook set. Any field may be nil
+// — obsv metrics are nil-safe no-ops — and a nil *Metrics disables
+// instrumentation entirely; Store holds a value with all-nil fields so
+// call sites need no conditionals.
+type Metrics struct {
+	// ObjectsWritten / BytesWritten count objects newly added to the
+	// CAS; ObjectsDeduped / BytesDeduped count puts that found their
+	// content already present and wrote nothing.
+	ObjectsWritten *obsv.Counter
+	BytesWritten   *obsv.Counter
+	ObjectsDeduped *obsv.Counter
+	BytesDeduped   *obsv.Counter
+	// ArtifactsStored counts artifact manifests newly recorded.
+	ArtifactsStored *obsv.Counter
+	// ResolveHits / ResolveMisses classify Resolve calls by whether the
+	// build index already mapped the key; ResolveBuilds counts builds
+	// actually executed (== misses net of singleflight sharing).
+	ResolveHits   *obsv.Counter
+	ResolveMisses *obsv.Counter
+	ResolveBuilds *obsv.Counter
+	// CorruptObjects counts reads whose content failed hash
+	// verification.
+	CorruptObjects *obsv.Counter
+}
+
+// NewMetrics registers the standard store metric names on r and returns
+// the hook set. A nil registry yields a hook set of nil metrics — valid
+// to install, and a no-op.
+func NewMetrics(r *obsv.Registry) *Metrics {
+	return &Metrics{
+		ObjectsWritten:  r.Counter("store_objects_written_total"),
+		BytesWritten:    r.Counter("store_bytes_written_total"),
+		ObjectsDeduped:  r.Counter("store_objects_deduped_total"),
+		BytesDeduped:    r.Counter("store_bytes_deduped_total"),
+		ArtifactsStored: r.Counter("store_artifacts_stored_total"),
+		ResolveHits:     r.Counter("store_resolve_hits_total"),
+		ResolveMisses:   r.Counter("store_resolve_misses_total"),
+		ResolveBuilds:   r.Counter("store_resolve_builds_total"),
+		CorruptObjects:  r.Counter("store_corrupt_objects_total"),
+	}
+}
+
+// orNoop lets Store hold a value so instrumentation sites can call
+// through nil fields without checking the pointer first.
+func (m *Metrics) orNoop() Metrics {
+	if m == nil {
+		return Metrics{}
+	}
+	return *m
+}

@@ -1,0 +1,156 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	iwpp "repro/internal/wpp"
+)
+
+func TestResolveLazyBuildThenHit(t *testing.T) {
+	s, met := newTestStore(t)
+	key := BuildKey{Workload: "expr", Scale: "small", Chunk: 512, Workers: 2}
+	cold, err := s.Resolve(key, DefaultBuild(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Hit {
+		t.Fatal("first Resolve reported a hit on an empty store")
+	}
+	if met.ResolveMisses.Value() != 1 || met.ResolveBuilds.Value() != 1 {
+		t.Fatalf("cold counters: misses=%d builds=%d", met.ResolveMisses.Value(), met.ResolveBuilds.Value())
+	}
+	warm, err := s.Resolve(key, DefaultBuild(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Hit {
+		t.Fatal("second Resolve missed")
+	}
+	// The acceptance-criteria assertion: a cache hit performs no build.
+	if met.ResolveBuilds.Value() != 1 {
+		t.Fatalf("warm Resolve ran a build (builds=%d)", met.ResolveBuilds.Value())
+	}
+	if met.ResolveHits.Value() != 1 {
+		t.Fatalf("hits=%d", met.ResolveHits.Value())
+	}
+	if warm.Hash != cold.Hash || !bytes.Equal(warm.Bytes, cold.Bytes) {
+		t.Fatal("warm bytes diverge from the built artifact")
+	}
+	// Lazy-built artifact must match an independent direct build of the
+	// same tuple — the byte-identity wppbuild relies on.
+	a, err := DefaultBuild(key)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var direct bytes.Buffer
+	if _, err := a.Encode(&direct); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(direct.Bytes(), cold.Bytes) {
+		t.Fatal("store-built artifact diverges from direct build")
+	}
+}
+
+// TestResolveSingleflight races many goroutines at one cold key: the
+// build must run exactly once and everyone must get the same bytes.
+// Run under -race in CI.
+func TestResolveSingleflight(t *testing.T) {
+	s, met := newTestStore(t)
+	key := BuildKey{Workload: "queens", Scale: "small", Chunk: 256}
+	var builds atomic.Int64
+	build := func() (iwpp.Artifact, error) {
+		builds.Add(1)
+		return DefaultBuild(key)()
+	}
+	const goroutines = 16
+	start := make(chan struct{})
+	results := make([]ResolveResult, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			results[i], errs[i] = s.Resolve(key, build)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("build ran %d times under contention", n)
+	}
+	if met.ResolveBuilds.Value() != 1 {
+		t.Fatalf("ResolveBuilds=%d", met.ResolveBuilds.Value())
+	}
+	for i := 0; i < goroutines; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if results[i].Hash != results[0].Hash || !bytes.Equal(results[i].Bytes, results[0].Bytes) {
+			t.Fatalf("goroutine %d got different bytes", i)
+		}
+	}
+}
+
+func TestResolveCorruptCacheIsError(t *testing.T) {
+	s, met := newTestStore(t)
+	key := BuildKey{Workload: "expr", Scale: "small", Chunk: 512}
+	cold, err := s.Resolve(key, DefaultBuild(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one object backing the cached artifact.
+	m, err := s.Manifest(cold.Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph, err := ParseHash(m.Parts[len(m.Parts)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.objectPath(ph)
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x55
+	if err := os.WriteFile(p, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before := met.ResolveBuilds.Value()
+	_, err = s.Resolve(key, DefaultBuild(key))
+	var ce *CorruptObjectError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Resolve over corrupt cache: %v (want *CorruptObjectError)", err)
+	}
+	// Never a silent rebuild.
+	if met.ResolveBuilds.Value() != before {
+		t.Fatal("corrupt cache triggered a silent rebuild")
+	}
+}
+
+func TestBuildKeyNormalizeAndValidate(t *testing.T) {
+	k := BuildKey{Workload: "expr"}.normalize()
+	if k.Format != "wpp1" || k.Scale != "small" {
+		t.Fatalf("normalize: %+v", k)
+	}
+	if (BuildKey{}).normalize().ID() == (BuildKey{Workload: "expr"}).normalize().ID() {
+		t.Fatal("distinct keys share an ID")
+	}
+	for _, bad := range []BuildKey{
+		{},
+		{Workload: "expr", Program: "abc"},
+		{Workload: "expr", Format: "wpp3"},
+		{Workload: "expr", Scale: "huge"},
+	} {
+		if err := bad.normalize().validate(); err == nil {
+			t.Fatalf("key %+v validated", bad)
+		}
+	}
+}

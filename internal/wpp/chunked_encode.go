@@ -27,6 +27,25 @@ func (c *ChunkedWPP) Encode(out io.Writer) (int64, error) {
 	if c.Version >= FormatV2 {
 		return c.encodeChunkedV2(out)
 	}
+	written, err := c.encodeHeaderV1(out)
+	if err != nil {
+		return written, err
+	}
+	for _, ch := range c.Chunks {
+		gn, err := ch.Encode(out)
+		written += gn
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// encodeHeaderV1 writes everything before the chunk grammars: magic,
+// function table, geometry, cost table, and the chunk count. Encode is
+// exactly this header followed by each chunk's sequitur encoding — the
+// split EncodeParts exposes for per-chunk content addressing.
+func (c *ChunkedWPP) encodeHeaderV1(out io.Writer) (int64, error) {
 	bw := bufio.NewWriter(out)
 	var written int64
 	var buf [binary.MaxVarintLen64]byte
@@ -81,17 +100,7 @@ func (c *ChunkedWPP) Encode(out io.Writer) (int64, error) {
 	if err := put(uint64(len(c.Chunks))); err != nil {
 		return written, err
 	}
-	if err := bw.Flush(); err != nil {
-		return written, err
-	}
-	for _, ch := range c.Chunks {
-		gn, err := ch.Encode(out)
-		written += gn
-		if err != nil {
-			return written, err
-		}
-	}
-	return written, nil
+	return written, bw.Flush()
 }
 
 // EncodedBytes returns the byte size Encode would produce for the whole

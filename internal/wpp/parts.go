@@ -1,0 +1,52 @@
+package wpp
+
+import (
+	"bytes"
+)
+
+// EncodeParts serializes the chunked artifact as a header plus one byte
+// slice per chunk grammar, in the encoding Version selects. The
+// concatenation header || chunks[0] || ... || chunks[n-1] is exactly the
+// byte stream Encode produces, so a content-addressed store can hash and
+// deduplicate chunk grammars individually and still reassemble the
+// artifact byte-identically.
+//
+// Each chunk slice is one self-contained sequitur snapshot encoding
+// ("SQG1" framing). Under FormatV2 the snapshot's terminals are
+// dictionary ranks over the artifact's cost table, so chunk bytes dedup
+// across artifacts exactly when both the chunk grammar and the enclosing
+// cost dictionary agree — which is the repeated-runs-of-one-program case
+// the store exists for.
+func (c *ChunkedWPP) EncodeParts() (header []byte, chunks [][]byte, err error) {
+	var hdr bytes.Buffer
+	chunks = make([][]byte, len(c.Chunks))
+	if c.Version >= FormatV2 {
+		dict := sortedCostEvents(c.costs)
+		ranked, rerr := c.rankedChunks(dict)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		if _, err := c.encodeHeaderV2(&hdr, dict); err != nil {
+			return nil, nil, err
+		}
+		for i, r := range ranked {
+			var buf bytes.Buffer
+			if _, err := r.Encode(&buf); err != nil {
+				return nil, nil, err
+			}
+			chunks[i] = buf.Bytes()
+		}
+		return hdr.Bytes(), chunks, nil
+	}
+	if _, err := c.encodeHeaderV1(&hdr); err != nil {
+		return nil, nil, err
+	}
+	for i, ch := range c.Chunks {
+		var buf bytes.Buffer
+		if _, err := ch.Encode(&buf); err != nil {
+			return nil, nil, err
+		}
+		chunks[i] = buf.Bytes()
+	}
+	return hdr.Bytes(), chunks, nil
+}

@@ -1,0 +1,87 @@
+package wpp
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEncodePartsReassembles pins the property the content-addressed
+// store relies on: header || chunk bytes... is exactly the Encode
+// stream, for both format versions and a spread of chunk geometries.
+func TestEncodePartsReassembles(t *testing.T) {
+	for name, events := range testStreams() {
+		if len(events) == 0 {
+			continue
+		}
+		for _, cs := range []uint64{1, 64, 1 << 20} {
+			for _, version := range []uint8{FormatV1, FormatV2} {
+				c := buildChunkedFor(events, cs)
+				c.Version = version
+				var want bytes.Buffer
+				if _, err := c.Encode(&want); err != nil {
+					t.Fatalf("%s cs=%d v%d: %v", name, cs, version, err)
+				}
+				header, chunks, err := c.EncodeParts()
+				if err != nil {
+					t.Fatalf("%s cs=%d v%d: EncodeParts: %v", name, cs, version, err)
+				}
+				if len(chunks) != len(c.Chunks) {
+					t.Fatalf("%s cs=%d v%d: %d parts for %d chunks", name, cs, version, len(chunks), len(c.Chunks))
+				}
+				got := append([]byte(nil), header...)
+				for _, ch := range chunks {
+					got = append(got, ch...)
+				}
+				if !bytes.Equal(got, want.Bytes()) {
+					t.Fatalf("%s cs=%d v%d: EncodeParts concatenation diverges from Encode (%d vs %d bytes)",
+						name, cs, version, len(got), want.Len())
+				}
+			}
+		}
+	}
+}
+
+// TestEncodePartsGoldenCorpus reassembles every committed chunked golden
+// artifact from its parts: decode, split, concatenate, byte-compare.
+func TestEncodePartsGoldenCorpus(t *testing.T) {
+	dir := filepath.Join("..", "experiments", "testdata", "golden")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading golden corpus: %v", err)
+	}
+	n := 0
+	for _, ent := range entries {
+		if !strings.HasSuffix(ent.Name(), ".wpc1") && !strings.HasSuffix(ent.Name(), ".wpc2") {
+			continue
+		}
+		n++
+		data, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, c, err := DecodeAny(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: %v", ent.Name(), err)
+		}
+		if c == nil {
+			t.Fatalf("%s: expected a chunked artifact", ent.Name())
+		}
+		header, chunks, err := c.EncodeParts()
+		if err != nil {
+			t.Fatalf("%s: EncodeParts: %v", ent.Name(), err)
+		}
+		got := append([]byte(nil), header...)
+		for _, ch := range chunks {
+			got = append(got, ch...)
+		}
+		if !bytes.Equal(got, data) {
+			t.Errorf("%s: parts do not reassemble the committed bytes (%d vs %d)", ent.Name(), len(got), len(data))
+		}
+	}
+	if n == 0 {
+		t.Fatal("no chunked artifacts in the golden corpus")
+	}
+}
