@@ -29,6 +29,7 @@ func main() {
 	seqbench := flag.String("seqbench", "", "measure raw SEQUITUR throughput and write the trajectory JSON to this file (e.g. BENCH_sequitur.json); if the file already holds a previous run, print a benchstat-style comparison before overwriting")
 	eventbench := flag.String("eventbench", "", "measure the scalar-vs-batched builder ingestion chains and write the trajectory JSON to this file (e.g. BENCH_eventpath.json); diffs against a previous run like -seqbench")
 	storebench := flag.String("storebench", "", "measure content-addressed store resolve latency and repeat-run dedup across small and medium scales and write the trajectory JSON to this file (e.g. BENCH_store.json); diffs against a previous run like -seqbench")
+	openbench := flag.String("openbench", "", "measure lazy view opens against eager decode (time to first result, hot query, allocations) and write the trajectory JSON to this file (e.g. BENCH_openpath.json); diffs against a previous run like -seqbench")
 	flatebench := flag.String("flatebench", "", "compare the v2 varint codecs against gzip'd v1 encodings on this golden-corpus directory (size and decode speed); prints a table, writes nothing")
 	golden := flag.String("golden", "", "decode and verify every artifact in this directory before running anything else; exit nonzero on the first failure")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. :6060)")
@@ -159,10 +160,49 @@ func main() {
 		}
 		expDone.Inc()
 	}
+	if *openbench != "" {
+		if err := runOpenBench(*openbench, scale, *reps); err != nil {
+			fatal(err)
+		}
+		expDone.Inc()
+	}
 	if *flatebench != "" {
 		_, tbl, err := experiments.FlateBench(*flatebench, *reps)
 		show(tbl, err)
 	}
+}
+
+// loadTrajectory reads the previous trajectory point from path so a new
+// run can diff against it. A missing file is a fresh start (nil, nil);
+// unparseable or wrong-schema files are errors that name the fix, since
+// silently overwriting a point would erase the trajectory it pins.
+// schema extracts the stored schema tag from the decoded point.
+func loadTrajectory[T any](path, wantSchema string, schema func(*T) string) (*T, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	old := new(T)
+	if err := json.Unmarshal(raw, old); err != nil {
+		return nil, fmt.Errorf("previous trajectory %s is not valid JSON (delete it to start fresh): %w", path, err)
+	}
+	if got := schema(old); got != wantSchema {
+		return nil, fmt.Errorf("previous trajectory %s has schema %q, want %q (delete it to start fresh)", path, got, wantSchema)
+	}
+	return old, nil
+}
+
+// writeTrajectory persists a trajectory point as indented JSON, the
+// format loadTrajectory reads back.
+func writeTrajectory(path string, res any) error {
+	raw, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
 }
 
 // runStoreBench records a store trajectory point. The scales are fixed
@@ -170,16 +210,9 @@ func main() {
 // per-tuple, so the two scales double the grid rather than parameterize
 // it — and diffs against the previous point like runSeqBench.
 func runStoreBench(path string, workers, reps int) error {
-	var old *experiments.StoreBenchResult
-	if raw, err := os.ReadFile(path); err == nil {
-		old = &experiments.StoreBenchResult{}
-		if err := json.Unmarshal(raw, old); err != nil {
-			return fmt.Errorf("previous trajectory %s is not valid JSON (delete it to start fresh): %w", path, err)
-		}
-		if old.Schema != experiments.StoreBenchSchema {
-			return fmt.Errorf("previous trajectory %s has schema %q, want %q (delete it to start fresh)", path, old.Schema, experiments.StoreBenchSchema)
-		}
-	} else if !os.IsNotExist(err) {
+	old, err := loadTrajectory(path, experiments.StoreBenchSchema,
+		func(r *experiments.StoreBenchResult) string { return r.Schema })
+	if err != nil {
 		return err
 	}
 	if workers <= 0 {
@@ -194,17 +227,35 @@ func runStoreBench(path string, workers, reps int) error {
 	if old != nil {
 		fmt.Println(experiments.CompareStoreBench(old, res).String())
 	}
-	raw, err := json.MarshalIndent(res, "", "  ")
+	return writeTrajectory(path, res)
+}
+
+// runOpenBench records an open-path trajectory point: lazy view opens
+// vs eager decode across every workload and format, diffing against
+// the previous point like runSeqBench.
+func runOpenBench(path string, scale experiments.Scale, reps int) error {
+	old, err := loadTrajectory(path, experiments.OpenBenchSchema,
+		func(r *experiments.OpenBenchResult) string { return r.Schema })
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(raw, '\n'), 0o644)
+	res, tbl, err := experiments.OpenBench(scale, workloads.Names(), 4096, reps)
+	if err != nil {
+		return err
+	}
+	fmt.Println(tbl.String())
+	if old != nil {
+		fmt.Println(experiments.CompareOpenBench(old, res).String())
+	}
+	return writeTrajectory(path, res)
 }
 
 // checkGolden decodes and structurally verifies every artifact under
 // dir — the committed golden corpus spans all four registered formats,
 // so a failure here means a decoder regressed on bytes it must read
-// forever.
+// forever. Each artifact is read through both open paths, the eager
+// decoder and the lazy mmap-backed view, and the two must agree on the
+// header fields and pass their respective verifiers.
 func checkGolden(dir string) error {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -227,6 +278,22 @@ func checkGolden(dir string) error {
 		}
 		if err := a.Verify(); err != nil {
 			return fmt.Errorf("golden %s (%s): verify: %w", path, format, err)
+		}
+		v, err := iwpp.OpenViewFile(path, nil)
+		if err != nil {
+			return fmt.Errorf("golden %s: view open: %w", path, err)
+		}
+		if err := v.Verify(0); err != nil {
+			v.Close()
+			return fmt.Errorf("golden %s (%s): view verify: %w", path, format, err)
+		}
+		if v.Format() != format || v.NumEvents() != a.NumEvents() ||
+			v.TotalInstructions() != a.TotalInstructions() || v.DistinctPaths() != a.DistinctPaths() {
+			v.Close()
+			return fmt.Errorf("golden %s: view header disagrees with eager decode", path)
+		}
+		if err := v.Close(); err != nil {
+			return err
 		}
 		fmt.Printf("golden %s: %s, %d events ok\n", e.Name(), format, a.NumEvents())
 		n++
@@ -253,16 +320,9 @@ func isArtifactName(name string) bool {
 // the previous point when the file holds one (same protocol as
 // runSeqBench).
 func runEventBench(path string, scale experiments.Scale, workers, reps int) error {
-	var old *experiments.EventBenchResult
-	if raw, err := os.ReadFile(path); err == nil {
-		old = &experiments.EventBenchResult{}
-		if err := json.Unmarshal(raw, old); err != nil {
-			return fmt.Errorf("previous trajectory %s is not valid JSON (delete it to start fresh): %w", path, err)
-		}
-		if old.Schema != experiments.EventBenchSchema {
-			return fmt.Errorf("previous trajectory %s has schema %q, want %q (delete it to start fresh)", path, old.Schema, experiments.EventBenchSchema)
-		}
-	} else if !os.IsNotExist(err) {
+	old, err := loadTrajectory(path, experiments.EventBenchSchema,
+		func(r *experiments.EventBenchResult) string { return r.Schema })
+	if err != nil {
 		return err
 	}
 	if workers <= 0 {
@@ -276,27 +336,16 @@ func runEventBench(path string, scale experiments.Scale, workers, reps int) erro
 	if old != nil {
 		fmt.Println(experiments.CompareEventBench(old, res).String())
 	}
-	raw, err := json.MarshalIndent(res, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(raw, '\n'), 0o644)
+	return writeTrajectory(path, res)
 }
 
 // runSeqBench records a compressor-throughput trajectory point: measure
 // every workload, diff against the previous point if the file holds one,
 // then overwrite the file so the next PR diffs against this run.
 func runSeqBench(path string, scale experiments.Scale, reps int) error {
-	var old *experiments.SeqBenchResult
-	if raw, err := os.ReadFile(path); err == nil {
-		old = &experiments.SeqBenchResult{}
-		if err := json.Unmarshal(raw, old); err != nil {
-			return fmt.Errorf("previous trajectory %s is not valid JSON (delete it to start fresh): %w", path, err)
-		}
-		if old.Schema != experiments.SeqBenchSchema {
-			return fmt.Errorf("previous trajectory %s has schema %q, want %q (delete it to start fresh)", path, old.Schema, experiments.SeqBenchSchema)
-		}
-	} else if !os.IsNotExist(err) {
+	old, err := loadTrajectory(path, experiments.SeqBenchSchema,
+		func(r *experiments.SeqBenchResult) string { return r.Schema })
+	if err != nil {
 		return err
 	}
 	res, tbl, err := experiments.SeqBench(scale, workloads.Names(), 4096, reps)
@@ -307,11 +356,7 @@ func runSeqBench(path string, scale experiments.Scale, reps int) error {
 	if old != nil {
 		fmt.Println(experiments.CompareSeqBench(old, res).String())
 	}
-	raw, err := json.MarshalIndent(res, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(raw, '\n'), 0o644)
+	return writeTrajectory(path, res)
 }
 
 func fatal(err error) {

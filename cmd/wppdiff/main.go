@@ -3,9 +3,10 @@
 // debugging from the command line (see examples/tracediff for the
 // library-level version).
 //
-// Both artifact kinds are accepted, in any combination: the event-level
-// diff walks monolithic ("WPP1") and chunked ("WPC1") traces alike.
-// -spectrum needs the monolithic grammar and rejects chunked inputs.
+// Both artifact kinds are accepted, in any combination: inputs open
+// through the lazy mmap-backed view layer, the event-level diff walks
+// monolithic ("WPP1") and chunked ("WPC1") traces alike, and -spectrum
+// compares path-frequency spectra chunk-parallel on either kind.
 //
 // Either input may be a file path or a content-addressed store
 // reference ("@<hash-prefix>" or "<workload>@<scale>", resolved through
@@ -54,21 +55,24 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	defer a.Close()
 	b, err := load(flag.Arg(1))
 	if err != nil {
 		fatal(err)
 	}
+	defer b.Close()
 	if *spectrum {
-		if a.mono == nil || b.mono == nil {
-			fatal(fmt.Errorf("-spectrum supports only monolithic artifacts"))
-		}
-		diffSpectra(a.mono, b.mono, *top)
+		diffSpectra(a, b, *top)
 		return
 	}
 
 	var ea, eb []trace.Event
-	a.Walk(func(e trace.Event) bool { ea = append(ea, e); return true })
-	b.Walk(func(e trace.Event) bool { eb = append(eb, e); return true })
+	if err := a.Walk(func(e trace.Event) bool { ea = append(ea, e); return true }); err != nil {
+		fatal(err)
+	}
+	if err := b.Walk(func(e trace.Event) bool { eb = append(eb, e); return true }); err != nil {
+		fatal(err)
+	}
 
 	n := len(ea)
 	if len(eb) < n {
@@ -89,8 +93,8 @@ func main() {
 		diverge = n
 	}
 	fmt.Printf("traces diverge at event %d of %d/%d\n", diverge, len(ea), len(eb))
-	fmt.Printf("  %s (%s): %s\n", flag.Arg(0), a.format, render(a, ea, diverge))
-	fmt.Printf("  %s (%s): %s\n", flag.Arg(1), b.format, render(b, eb, diverge))
+	fmt.Printf("  %s (%s): %s\n", flag.Arg(0), a.Format(), render(a, ea, diverge))
+	fmt.Printf("  %s (%s): %s\n", flag.Arg(1), b.Format(), render(b, eb, diverge))
 	if *verbose {
 		lo := diverge - 5
 		if lo < 0 {
@@ -105,12 +109,18 @@ func main() {
 }
 
 // diffSpectra compares path-frequency spectra and exits 1 on difference.
-func diffSpectra(a, b *iwpp.WPP, top int) {
-	d := hotpath.CompareSpectra(a, b)
+// The comparison runs chunk-parallel over both views, so chunked
+// artifacts diff without decoding either whole grammar set.
+func diffSpectra(a, b *iwpp.ArtifactView, top int) {
+	d, err := hotpath.CompareSpectraView(a, b, 0)
+	if err != nil {
+		fatal(err)
+	}
 	if d.Identical() {
 		fmt.Printf("identical spectra: %d distinct paths\n", d.TotalPaths)
 		return
 	}
+	funcs := a.FuncTable()
 	fmt.Printf("%d of %d distinct paths differ (%d shared)\n", len(d.Entries), d.TotalPaths, d.SharedPaths)
 	for i, e := range d.Entries {
 		if i >= top {
@@ -118,8 +128,8 @@ func diffSpectra(a, b *iwpp.WPP, top int) {
 			break
 		}
 		name := fmt.Sprintf("f%d", e.Event.Func())
-		if int(e.Event.Func()) < len(a.Funcs) {
-			name = a.Funcs[e.Event.Func()].Name
+		if int(e.Event.Func()) < len(funcs) {
+			name = funcs[e.Event.Func()].Name
 		}
 		tag := ""
 		if e.OnlyA {
@@ -132,49 +142,20 @@ func diffSpectra(a, b *iwpp.WPP, top int) {
 	os.Exit(1)
 }
 
-// artifact holds either decoded kind; exactly one of mono/chunk is
-// non-nil. format is the registered name of the encoding that was read.
-type artifact struct {
-	mono   *iwpp.WPP
-	chunk  *iwpp.ChunkedWPP
-	format string
-}
-
-// Walk yields the full event trace, whichever encoding carries it.
-func (a artifact) Walk(yield func(trace.Event) bool) {
-	if a.mono != nil {
-		a.mono.Walk(yield)
-		return
-	}
-	a.chunk.Walk(yield)
-}
-
-func (a artifact) funcs() []iwpp.FuncInfo {
-	if a.mono != nil {
-		return a.mono.Funcs
-	}
-	return a.chunk.Funcs
-}
-
-func load(path string) (artifact, error) {
-	f, err := store.OpenInput(path, storeDir)
+func load(path string) (*iwpp.ArtifactView, error) {
+	v, err := store.OpenViewInput(path, storeDir, nil)
 	if err != nil {
-		return artifact{}, err
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	defer f.Close()
-	w, cw, format, err := iwpp.DecodeAnyNamed(f)
-	if err != nil {
-		return artifact{}, fmt.Errorf("%s: %w", path, err)
-	}
-	return artifact{mono: w, chunk: cw, format: format}, nil
+	return v, nil
 }
 
-func render(a artifact, events []trace.Event, i int) string {
+func render(v *iwpp.ArtifactView, events []trace.Event, i int) string {
 	if i >= len(events) {
 		return "<end of trace>"
 	}
 	e := events[i]
-	funcs := a.funcs()
+	funcs := v.FuncTable()
 	name := fmt.Sprintf("f%d", e.Func())
 	if int(e.Func()) < len(funcs) {
 		name = funcs[e.Func()].Name

@@ -4,6 +4,13 @@
 // Chunked artifacts are analyzed per chunk on -workers goroutines; the
 // answers are identical to the monolithic analysis of the same trace.
 //
+// The artifact opens through the lazy mmap-backed view layer: chunk
+// grammars materialize inside the per-chunk analysis pass and are
+// discarded after counting, so peak memory tracks one chunk per worker
+// instead of the whole decoded artifact. The wpp_open_* metrics on
+// -debug-addr expose the open path (bytes mapped, chunks materialized,
+// time to first result).
+//
 // The input may be a file path or a content-addressed store reference
 // ("@<hash-prefix>" or "<workload>@<scale>", resolved through -store or
 // $WPP_STORE).
@@ -48,42 +55,43 @@ func main() {
 	}
 	reg := obsv.NewRegistry()
 	met := hotpath.NewMetrics(reg)
+	viewMet := iwpp.NewViewMetrics(reg)
 	artifactBytes := reg.Counter("wpp_artifact_bytes_read_total")
 	shutdown, err := obsv.Setup(reg, *debugAddr, "wpphot", *progress, os.Stderr)
 	if err != nil {
 		fatal(err)
 	}
 	defer shutdown()
-	f, err := store.OpenInput(flag.Arg(0), store.DirFromFlag(*storeDir))
+	v, err := store.OpenViewInput(flag.Arg(0), store.DirFromFlag(*storeDir), viewMet)
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
-	w, cw, format, err := iwpp.DecodeAnyNamed(&obsv.CountingReader{R: f, C: artifactBytes})
-	if err != nil {
-		fatal(err)
-	}
+	defer v.Close()
+	artifactBytes.Add(uint64(v.Size()))
+	format := v.Format()
 	opts := hotpath.Options{MinLen: *minLen, MaxLen: *maxLen, Threshold: *threshold, Metrics: met}
 	var subs []hotpath.Subpath
-	var funcs []iwpp.FuncInfo
-	var instrs uint64
-	if cw != nil {
-		if *scan {
-			fatal(fmt.Errorf("-scan supports only monolithic artifacts"))
+	if *scan {
+		// The decompress-and-scan baseline needs the whole monolithic
+		// grammar resident; materialize it eagerly.
+		w, err := v.WPP()
+		if err != nil {
+			if v.Chunked() {
+				fatal(fmt.Errorf("-scan supports only monolithic artifacts"))
+			}
+			fatal(err)
 		}
-		subs, err = hotpath.FindChunked(cw, opts, *workers)
-		funcs, instrs = cw.Funcs, cw.Instructions
+		subs, err = hotpath.FindByScan(w, opts)
+		if err != nil {
+			fatal(err)
+		}
 	} else {
-		find := hotpath.Find
-		if *scan {
-			find = hotpath.FindByScan
+		subs, err = hotpath.FindView(v, opts, *workers)
+		if err != nil {
+			fatal(err)
 		}
-		subs, err = find(w, opts)
-		funcs, instrs = w.Funcs, w.Instructions
 	}
-	if err != nil {
-		fatal(err)
-	}
+	funcs, instrs := v.FuncTable(), v.TotalInstructions()
 	fmt.Printf("%s, %d minimal hot subpaths (len %d..%d, threshold %.3f, total cost %d)\n",
 		format, len(subs), *minLen, *maxLen, *threshold, instrs)
 	for i, s := range subs {

@@ -7,6 +7,11 @@
 // ("WPC1"). -dump works on either; -dot, -profile, and -funcs need the
 // monolithic grammar and reject chunked artifacts with an error.
 //
+// Inputs open through the lazy mmap-backed view layer: the artifact is
+// indexed in one cheap pass and chunk grammars materialize only for the
+// parts of the report that need them, so header-level statistics print
+// without decoding the trace.
+//
 // -verify runs the deep artifact checker (SEQUITUR grammar invariants,
 // chunk geometry, path-ID bounds) before printing statistics, and exits
 // nonzero on any violation. Adding -workload name recompiles the named
@@ -39,6 +44,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"repro/internal/bl"
 	"repro/internal/dataflow"
@@ -69,40 +75,41 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	f, err := store.OpenInput(flag.Arg(0), store.DirFromFlag(*storeDir))
+	v, err := store.OpenViewInput(flag.Arg(0), store.DirFromFlag(*storeDir), nil)
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
-	w, cw, format, err := iwpp.DecodeAnyNamed(f)
-	if err != nil {
-		fatal(err)
-	}
+	defer v.Close()
+	format := v.Format()
 	if *workload != "" && !*verify && !*coverage {
 		fatal(fmt.Errorf("-workload requires -verify or -coverage"))
 	}
 	if *coverage && *workload == "" {
 		fatal(fmt.Errorf("-coverage requires -workload (the artifact does not carry the program)"))
 	}
-	if cw != nil {
+	if v.Chunked() {
 		if *coverage {
-			coverageReport(*workload, cw.Funcs, cw.Walk)
+			coverageReport(*workload, v.FuncTable(), distinctWalk(v))
 			return
 		}
-		chunkedStats(cw, format, *dump, *profile, *funcs, *dot, *verify, *workload)
+		chunkedStats(v, format, *dump, *verify, *profile > 0, *funcs, *dot, *workload)
 		return
 	}
 	if *coverage {
-		if err := w.Verify(); err != nil {
+		if err := v.Verify(0); err != nil {
 			fatal(fmt.Errorf("artifact fails verification: %w", err))
 		}
-		coverageReport(*workload, w.Funcs, w.Walk)
+		coverageReport(*workload, v.FuncTable(), distinctWalk(v))
 		return
 	}
-	if err := w.Verify(); err != nil {
+	if err := v.Verify(0); err != nil {
 		fatal(fmt.Errorf("artifact fails verification: %w", err))
 	}
 	if *verify {
+		w, err := v.WPP()
+		if err != nil {
+			fatal(err)
+		}
 		rep, err := w.VerifyArtifact()
 		if err != nil {
 			fatal(fmt.Errorf("artifact fails deep verification: %w", err))
@@ -112,42 +119,57 @@ func main() {
 			verifyAgainstWorkload(*workload, w.Funcs, w.Walk)
 		}
 	}
+	table := v.FuncTable()
 	name := func(e trace.Event) string {
-		if int(e.Func()) < len(w.Funcs) {
-			return w.Funcs[e.Func()].Name
+		if int(e.Func()) < len(table) {
+			return table[e.Func()].Name
 		}
 		return fmt.Sprintf("f%d", e.Func())
 	}
 	if *dot {
+		w, err := v.WPP()
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Print(w.Grammar.Dot(func(v uint64) string {
 			e := trace.Event(v)
 			return fmt.Sprintf("%s:%d", name(e), e.Path())
 		}))
 		return
 	}
-	st := w.Stats()
+	sum, err := v.Summarize(0)
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Printf("format:         %s\n", format)
-	fmt.Printf("functions:      %d\n", len(w.Funcs))
-	fmt.Printf("events:         %d\n", st.Events)
-	fmt.Printf("distinct paths: %d\n", st.DistinctPaths)
-	fmt.Printf("instructions:   %d\n", w.Instructions)
-	fmt.Printf("rules:          %d\n", st.Rules)
-	fmt.Printf("rhs symbols:    %d\n", st.RHSSymbols)
-	fmt.Printf("raw trace:      %d bytes\n", st.RawTraceBytes)
-	fmt.Printf("wpp:            %d bytes (%.1fx)\n", st.EncodedBytes, float64(st.RawTraceBytes)/float64(st.EncodedBytes))
-	fmt.Printf("grammar only:   %d bytes\n", st.GrammarBytes)
+	fmt.Printf("functions:      %d\n", len(table))
+	fmt.Printf("events:         %d\n", v.NumEvents())
+	fmt.Printf("distinct paths: %d\n", v.DistinctPaths())
+	fmt.Printf("instructions:   %d\n", v.TotalInstructions())
+	fmt.Printf("rules:          %d\n", sum.Rules)
+	fmt.Printf("rhs symbols:    %d\n", sum.RHSSymbols)
+	fmt.Printf("raw trace:      %d bytes\n", sum.RawTraceBytes)
+	fmt.Printf("wpp:            %d bytes (%.1fx)\n", v.Size(), float64(sum.RawTraceBytes)/float64(v.Size()))
+	fmt.Printf("grammar only:   %d bytes\n", sum.GrammarBytes)
 	if *dump > 0 {
 		fmt.Println("trace prefix:")
 		n := 0
-		w.Walk(func(e trace.Event) bool {
+		err := v.Walk(func(e trace.Event) bool {
 			fmt.Printf("  %6d  %s:%d\n", n, name(e), e.Path())
 			n++
 			return n < *dump
 		})
+		if err != nil {
+			fatal(err)
+		}
 	}
 	if *profile > 0 {
+		entries, err := hotpath.PathProfileView(v, 0)
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Println("path profile (recovered from the compressed trace):")
-		for i, p := range hotpath.PathProfile(w) {
+		for i, p := range entries {
 			if i >= *profile {
 				break
 			}
@@ -156,11 +178,15 @@ func main() {
 		}
 	}
 	if *funcs {
+		entries, err := hotpath.FuncProfileView(v, 0)
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Println("function profile:")
-		for _, fp := range hotpath.FuncProfile(w) {
+		for _, fp := range entries {
 			fname := fmt.Sprintf("f%d", fp.Func)
-			if int(fp.Func) < len(w.Funcs) {
-				fname = w.Funcs[fp.Func].Name
+			if int(fp.Func) < len(table) {
+				fname = table[fp.Func].Name
 			}
 			fmt.Printf("  %-16s events=%-10d cost=%-12d %6.2f%%\n", fname, fp.Events, fp.Cost, fp.Fraction*100)
 		}
@@ -170,17 +196,21 @@ func main() {
 // chunkedStats is the chunked-artifact branch: structure statistics plus
 // -dump (the trace walk works per chunk). The grammar-level views need
 // the single monolithic grammar and are rejected.
-func chunkedStats(c *iwpp.ChunkedWPP, format string, dump, profile int, funcs, dot, verify bool, workload string) {
+func chunkedStats(v *iwpp.ArtifactView, format string, dump int, verify, profile, funcs, dot bool, workload string) {
 	if dot {
 		fatal(fmt.Errorf("-dot supports only monolithic artifacts (chunked artifacts have one grammar per chunk)"))
 	}
-	if profile > 0 || funcs {
+	if profile || funcs {
 		fatal(fmt.Errorf("-profile and -funcs support only monolithic artifacts"))
 	}
-	if err := c.Verify(); err != nil {
+	if err := v.Verify(0); err != nil {
 		fatal(fmt.Errorf("artifact fails verification: %w", err))
 	}
 	if verify {
+		c, err := v.ChunkedWPP()
+		if err != nil {
+			fatal(err)
+		}
 		rep, err := c.VerifyArtifact()
 		if err != nil {
 			fatal(fmt.Errorf("artifact fails deep verification: %w", err))
@@ -190,32 +220,65 @@ func chunkedStats(c *iwpp.ChunkedWPP, format string, dump, profile int, funcs, d
 			verifyAgainstWorkload(workload, c.Funcs, c.Walk)
 		}
 	}
-	st := c.Stats()
-	raw, enc := c.RawTraceBytes(), c.EncodedBytes()
+	sum, err := v.Summarize(0)
+	if err != nil {
+		fatal(err)
+	}
+	table := v.FuncTable()
+	raw, enc := sum.RawTraceBytes, v.Size()
 	fmt.Printf("format:         %s\n", format)
-	fmt.Printf("functions:      %d\n", len(c.Funcs))
-	fmt.Printf("events:         %d\n", st.Events)
-	fmt.Printf("distinct paths: %d\n", c.DistinctPaths())
-	fmt.Printf("instructions:   %d\n", c.Instructions)
-	fmt.Printf("chunks:         %d (size %d)\n", st.Chunks, c.ChunkSize)
-	fmt.Printf("rules:          %d\n", st.Rules)
-	fmt.Printf("rhs symbols:    %d\n", st.RHSSymbols)
-	fmt.Printf("peak live rhs:  %d\n", st.PeakLiveRHS)
+	fmt.Printf("functions:      %d\n", len(table))
+	fmt.Printf("events:         %d\n", v.NumEvents())
+	fmt.Printf("distinct paths: %d\n", v.DistinctPaths())
+	fmt.Printf("instructions:   %d\n", v.TotalInstructions())
+	fmt.Printf("chunks:         %d (size %d)\n", v.NumChunks(), v.ChunkSize())
+	fmt.Printf("rules:          %d\n", sum.Rules)
+	fmt.Printf("rhs symbols:    %d\n", sum.RHSSymbols)
+	fmt.Printf("peak live rhs:  %d\n", v.PeakLiveRHS())
 	fmt.Printf("raw trace:      %d bytes\n", raw)
 	fmt.Printf("wpc:            %d bytes (%.1fx)\n", enc, float64(raw)/float64(enc))
-	fmt.Printf("grammar only:   %d bytes\n", st.GrammarBytes)
+	fmt.Printf("grammar only:   %d bytes\n", sum.GrammarBytes)
 	if dump > 0 {
 		fmt.Println("trace prefix:")
 		n := 0
-		c.Walk(func(e trace.Event) bool {
+		err := v.Walk(func(e trace.Event) bool {
 			name := fmt.Sprintf("f%d", e.Func())
-			if int(e.Func()) < len(c.Funcs) {
-				name = c.Funcs[e.Func()].Name
+			if int(e.Func()) < len(table) {
+				name = table[e.Func()].Name
 			}
 			fmt.Printf("  %6d  %s:%d\n", n, name, e.Path())
 			n++
 			return n < dump
 		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// distinctWalk adapts a view to the walk signature the workload
+// cross-checks expect, yielding each distinct traced event exactly once
+// in ascending order. The checks only consume the distinct event set,
+// so this is computed grammar-side — chunk-parallel event frequencies,
+// entries with nonzero count — instead of expanding the trace.
+func distinctWalk(v *iwpp.ArtifactView) func(func(trace.Event) bool) {
+	return func(yield func(trace.Event) bool) {
+		freqs, err := hotpath.EventFrequenciesView(v, 0)
+		if err != nil {
+			fatal(err)
+		}
+		events := make([]trace.Event, 0, len(freqs))
+		for e, n := range freqs {
+			if n > 0 {
+				events = append(events, e)
+			}
+		}
+		sort.Slice(events, func(i, j int) bool { return events[i] < events[j] })
+		for _, e := range events {
+			if !yield(e) {
+				return
+			}
+		}
 	}
 }
 

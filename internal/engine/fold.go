@@ -2,8 +2,6 @@ package engine
 
 import (
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/sequitur"
 )
@@ -34,54 +32,21 @@ func Workers(workers int) int {
 
 // Map builds each snapshot's Analysis and applies fn to it on `workers`
 // goroutines (normalized by Workers), returning results in chunk order.
-// fn must only write state owned by index i.
+// fn must only write state owned by index i. It is MapSource over an
+// in-memory slice, whose chunk access cannot fail.
 func Map[R any](snaps []*sequitur.Snapshot, workers int, fn func(i int, a *Analysis) R) []R {
-	n := len(snaps)
-	out := make([]R, n)
-	run := func(i int) { out[i] = fn(i, NewAnalysis(snaps[i])) }
-	if workers = Workers(workers); workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			run(i)
-		}
-		return out
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				run(i)
-			}
-		}()
-	}
-	wg.Wait()
+	out, _ := MapSource(SliceSource(snaps), workers, fn)
 	return out
 }
 
 // Run executes a Fold over the snapshot sequence: per-chunk passes in
 // parallel via Map, then a sequential in-order merge. With a single
 // snapshot the result is Chunk(0, ...) — the monolithic case is the
-// one-chunk special case of the same engine.
+// one-chunk special case of the same engine. It is RunSource over an
+// in-memory slice, whose chunk access cannot fail.
 func Run[R any](snaps []*sequitur.Snapshot, workers int, f Fold[R]) R {
-	parts := Map(snaps, workers, f.Chunk)
-	if len(parts) == 0 {
-		var zero R
-		return zero
-	}
-	acc := parts[0]
-	for _, p := range parts[1:] {
-		acc = f.Merge(acc, p)
-	}
-	return acc
+	out, _ := RunSource(SliceSource(snaps), workers, f)
+	return out
 }
 
 // Boundary is one chunk's contribution to cross-seam window counting:

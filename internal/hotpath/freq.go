@@ -4,7 +4,6 @@ import (
 	"sort"
 
 	"repro/internal/engine"
-	"repro/internal/sequitur"
 	"repro/internal/trace"
 	"repro/internal/wpp"
 )
@@ -29,20 +28,24 @@ func (freqFold) Merge(acc, next map[trace.Event]uint64) map[trace.Event]uint64 {
 	return acc
 }
 
-// frequencies is the single implementation behind EventFrequencies and
-// ChunkedEventFrequencies.
-func frequencies(snaps []*sequitur.Snapshot, workers int) map[trace.Event]uint64 {
-	freqs := engine.Run(snaps, workers, freqFold{})
+// frequencies is the single implementation behind EventFrequencies,
+// ChunkedEventFrequencies, and EventFrequenciesView.
+func frequencies(src engine.Source, workers int) (map[trace.Event]uint64, error) {
+	freqs, err := engine.RunSource(src, workers, freqFold{})
+	if err != nil {
+		return nil, err
+	}
 	if freqs == nil {
 		freqs = make(map[trace.Event]uint64)
 	}
-	return freqs
+	return freqs, nil
 }
 
 // EventFrequencies returns the execution count of every distinct acyclic
 // path event, computed from the grammar without decompressing the trace.
 func EventFrequencies(w *wpp.WPP) map[trace.Event]uint64 {
-	return frequencies([]*sequitur.Snapshot{w.Grammar}, 1)
+	freqs, _ := frequencies(engine.SliceSource{w.Grammar}, 1)
+	return freqs
 }
 
 // ChunkedEventFrequencies returns the execution count of every distinct
@@ -50,7 +53,15 @@ func EventFrequencies(w *wpp.WPP) map[trace.Event]uint64 {
 // (<=0 means GOMAXPROCS) and merged. It matches EventFrequencies on a
 // monolithic WPP over the same stream exactly.
 func ChunkedEventFrequencies(c *wpp.ChunkedWPP, workers int) map[trace.Event]uint64 {
-	return frequencies(c.Chunks, workers)
+	freqs, _ := frequencies(engine.SliceSource(c.Chunks), workers)
+	return freqs
+}
+
+// EventFrequenciesView computes the same frequency map directly over a
+// lazy view, materializing one chunk per worker at a time. It matches
+// the eager functions exactly on every artifact.
+func EventFrequenciesView(v *wpp.ArtifactView, workers int) (map[trace.Event]uint64, error) {
+	return frequencies(v, workers)
 }
 
 // PathProfileEntry is one row of a classic Ball–Larus path profile,
@@ -69,11 +80,26 @@ type PathProfileEntry struct {
 // paper's observation that a WPP subsumes a path profile: the aggregate
 // view falls out of the complete trace.
 func PathProfile(w *wpp.WPP) []PathProfileEntry {
-	freqs := EventFrequencies(w)
+	return pathProfile(EventFrequencies(w), w.PathCost, w.Instructions)
+}
+
+// PathProfileView recovers the path profile directly from a lazy view,
+// chunk-parallel on `workers` goroutines. It matches PathProfile on the
+// eagerly decoded artifact exactly.
+func PathProfileView(v *wpp.ArtifactView, workers int) ([]PathProfileEntry, error) {
+	freqs, err := EventFrequenciesView(v, workers)
+	if err != nil {
+		return nil, err
+	}
+	return pathProfile(freqs, v.PathCost, v.TotalInstructions()), nil
+}
+
+// pathProfile converts a frequency map into the sorted profile under
+// the given cost model.
+func pathProfile(freqs map[trace.Event]uint64, costOf func(trace.Event) uint64, total uint64) []PathProfileEntry {
 	entries := make([]PathProfileEntry, 0, len(freqs))
-	total := w.Instructions
 	for e, n := range freqs {
-		cost := n * w.PathCost(e)
+		cost := n * costOf(e)
 		var frac float64
 		if total > 0 {
 			frac = float64(cost) / float64(total)
@@ -100,20 +126,37 @@ type FuncProfileEntry struct {
 // FuncProfile attributes execution cost to functions, recovered entirely
 // from the compressed trace.
 func FuncProfile(w *wpp.WPP) []FuncProfileEntry {
+	return funcProfile(EventFrequencies(w), w.PathCost, w.Instructions)
+}
+
+// FuncProfileView attributes execution cost to functions directly from
+// a lazy view, chunk-parallel on `workers` goroutines. It matches
+// FuncProfile on the eagerly decoded artifact exactly.
+func FuncProfileView(v *wpp.ArtifactView, workers int) ([]FuncProfileEntry, error) {
+	freqs, err := EventFrequenciesView(v, workers)
+	if err != nil {
+		return nil, err
+	}
+	return funcProfile(freqs, v.PathCost, v.TotalInstructions()), nil
+}
+
+// funcProfile aggregates a frequency map to function granularity under
+// the given cost model.
+func funcProfile(freqs map[trace.Event]uint64, costOf func(trace.Event) uint64, total uint64) []FuncProfileEntry {
 	byFunc := map[uint32]*FuncProfileEntry{}
-	for e, n := range EventFrequencies(w) {
+	for e, n := range freqs {
 		fe := byFunc[e.Func()]
 		if fe == nil {
 			fe = &FuncProfileEntry{Func: e.Func()}
 			byFunc[e.Func()] = fe
 		}
 		fe.Events += n
-		fe.Cost += n * w.PathCost(e)
+		fe.Cost += n * costOf(e)
 	}
 	out := make([]FuncProfileEntry, 0, len(byFunc))
 	for _, fe := range byFunc {
-		if w.Instructions > 0 {
-			fe.Fraction = float64(fe.Cost) / float64(w.Instructions)
+		if total > 0 {
+			fe.Fraction = float64(fe.Cost) / float64(total)
 		}
 		out = append(out, *fe)
 	}

@@ -22,7 +22,6 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/obsv"
-	"repro/internal/sequitur"
 	"repro/internal/trace"
 	"repro/internal/wpp"
 )
@@ -104,7 +103,7 @@ type Subpath struct {
 // Find locates all minimal hot subpaths by analyzing the grammar in
 // compressed form: the one-chunk case of the shared fold.
 func Find(w *wpp.WPP, opts Options) ([]Subpath, error) {
-	return find([]*sequitur.Snapshot{w.Grammar}, 1, opts, w.PathCost, w.Instructions)
+	return find(engine.SliceSource{w.Grammar}, 1, opts, w.PathCost, w.Instructions)
 }
 
 // FindChunked locates the same minimal hot subpaths as Find would on a
@@ -116,7 +115,18 @@ func Find(w *wpp.WPP, opts Options) ([]Subpath, error) {
 // its start position. Merging is by summation, so worker scheduling
 // cannot change any count.
 func FindChunked(c *wpp.ChunkedWPP, opts Options, workers int) ([]Subpath, error) {
-	return find(c.Chunks, workers, opts, c.PathCost, c.Instructions)
+	return find(engine.SliceSource(c.Chunks), workers, opts, c.PathCost, c.Instructions)
+}
+
+// FindView locates the same minimal hot subpaths as Find/FindChunked
+// would on the eagerly decoded artifact, analyzing a lazy view
+// chunk-parallel: each chunk grammar is materialized inside the fold's
+// per-chunk pass and discarded after counting, so peak memory tracks
+// one chunk per worker instead of the whole artifact. A monolithic view
+// is the one-chunk case. Materialization failures (corrupt chunks)
+// surface as *wpp.ViewError.
+func FindView(v *wpp.ArtifactView, opts Options, workers int) ([]Subpath, error) {
+	return find(v, workers, opts, v.PathCost, v.TotalInstructions())
 }
 
 // windowState accumulates per-chunk window counts (one map per window
@@ -158,17 +168,20 @@ func (f windowFold) Merge(acc, next *windowState) *windowState {
 	return acc
 }
 
-// find is the single hot-subpath implementation behind Find and
-// FindChunked: run the window fold over the chunk sequence, add the
-// boundary-crossing windows (weight 1 each, attributed to the chunk
-// holding their start — a single chunk contributes none), then harvest
-// minimal hot subpaths length by length.
-func find(snaps []*sequitur.Snapshot, workers int, opts Options, costOf func(trace.Event) uint64, total uint64) ([]Subpath, error) {
+// find is the single hot-subpath implementation behind Find,
+// FindChunked, and FindView: run the window fold over the chunk source,
+// add the boundary-crossing windows (weight 1 each, attributed to the
+// chunk holding their start — a single chunk contributes none), then
+// harvest minimal hot subpaths length by length.
+func find(src engine.Source, workers int, opts Options, costOf func(trace.Event) uint64, total uint64) ([]Subpath, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
 	met := opts.metrics()
-	st := engine.Run(snaps, workers, windowFold{opts: opts, met: met})
+	st, err := engine.RunSource(src, workers, windowFold{opts: opts, met: met})
+	if err != nil {
+		return nil, err
+	}
 	var result []Subpath
 	if st != nil {
 		hot := map[string]bool{}

@@ -40,8 +40,27 @@ type SpectrumDiff struct {
 // compiled program for the event IDs to be comparable; callers are
 // responsible for that (as with any spectra comparison).
 func CompareSpectra(a, b *wpp.WPP) *SpectrumDiff {
-	fa := EventFrequencies(a)
-	fb := EventFrequencies(b)
+	return diffSpectra(EventFrequencies(a), EventFrequencies(b))
+}
+
+// CompareSpectraView computes the same spectrum difference over two
+// lazy views, chunk-parallel on `workers` goroutines per side. Unlike
+// CompareSpectra it accepts any artifact shape — chunked spectra merge
+// per chunk, so the monolithic-only restriction does not apply.
+func CompareSpectraView(a, b *wpp.ArtifactView, workers int) (*SpectrumDiff, error) {
+	fa, err := EventFrequenciesView(a, workers)
+	if err != nil {
+		return nil, err
+	}
+	fb, err := EventFrequenciesView(b, workers)
+	if err != nil {
+		return nil, err
+	}
+	return diffSpectra(fa, fb), nil
+}
+
+// diffSpectra compares two frequency maps into the sorted diff report.
+func diffSpectra(fa, fb map[trace.Event]uint64) *SpectrumDiff {
 	diff := &SpectrumDiff{}
 	seen := map[trace.Event]bool{}
 	for e, ca := range fa {

@@ -1,0 +1,167 @@
+package hotpath
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/wpp"
+)
+
+// viewFor encodes the artifact and reopens it as a lazy view.
+func viewFor(t *testing.T, a wpp.Artifact, version uint8) *wpp.ArtifactView {
+	t.Helper()
+	switch w := a.(type) {
+	case *wpp.WPP:
+		w.Version = version
+	case *wpp.ChunkedWPP:
+		w.Version = version
+	}
+	var buf bytes.Buffer
+	if _, err := a.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v, err := wpp.NewView(buf.Bytes(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { v.Close() })
+	return v
+}
+
+// TestFindViewOracle: FindView over both view kinds and both format
+// versions must agree exactly with the eager searches, across worker
+// counts.
+func TestFindViewOracle(t *testing.T) {
+	src := `
+func leaf(x) {
+    if x > 2 { return x; }
+    return x + 1;
+}
+func main(n) {
+    var s = 0;
+    var i = 0;
+    while i < n { s = s + leaf(i); i = i + 1; }
+    return s;
+}`
+	w, c := programBoth(t, src, 16, 40)
+	opts := Options{MinLen: 2, MaxLen: 6, Threshold: 0.001}
+	wantMono, err := Find(w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantChunked, err := FindChunked(c, opts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantMono, wantChunked) {
+		t.Fatal("eager mono and chunked searches disagree; oracle is broken")
+	}
+	for _, version := range []uint8{wpp.FormatV1, wpp.FormatV2} {
+		for _, workers := range []int{1, 2, 4} {
+			got, err := FindView(viewFor(t, w, version), opts, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, wantMono) {
+				t.Fatalf("v%d workers=%d: FindView on mono view diverges from Find", version, workers)
+			}
+			got, err = FindView(viewFor(t, c, version), opts, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, wantChunked) {
+				t.Fatalf("v%d workers=%d: FindView on chunked view diverges from FindChunked", version, workers)
+			}
+		}
+	}
+}
+
+// TestFrequenciesAndProfilesView: the frequency, path-profile, and
+// function-profile view entry points must match their eager
+// counterparts on both kinds and versions.
+func TestFrequenciesAndProfilesView(t *testing.T) {
+	src := `
+func step(x) {
+    if x > 3 { return x - 1; }
+    return x + 2;
+}
+func main(n) {
+    var s = 0;
+    var i = 0;
+    while i < n { s = s + step(s); i = i + 1; }
+    return s;
+}`
+	w, c := programBoth(t, src, 8, 60)
+	wantFreq := EventFrequencies(w)
+	if !reflect.DeepEqual(wantFreq, ChunkedEventFrequencies(c, 2)) {
+		t.Fatal("eager frequency oracle is broken")
+	}
+	wantPaths := PathProfile(w)
+	wantFuncs := FuncProfile(w)
+	for _, version := range []uint8{wpp.FormatV1, wpp.FormatV2} {
+		for _, a := range []wpp.Artifact{w, c} {
+			v := viewFor(t, a, version)
+			freq, err := EventFrequenciesView(v, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(freq, wantFreq) {
+				t.Fatalf("v%d %T: EventFrequenciesView diverges", version, a)
+			}
+			paths, err := PathProfileView(v, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(paths, wantPaths) {
+				t.Fatalf("v%d %T: PathProfileView diverges", version, a)
+			}
+			funcs, err := FuncProfileView(v, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(funcs, wantFuncs) {
+				t.Fatalf("v%d %T: FuncProfileView diverges", version, a)
+			}
+		}
+	}
+}
+
+// TestCompareSpectraView: the view comparison must match the eager
+// monolithic comparison, and must also work chunked-vs-chunked and
+// mixed — the combination the eager API rejects.
+func TestCompareSpectraView(t *testing.T) {
+	srcA := `
+func main(n) {
+    var s = 0;
+    var i = 0;
+    while i < n {
+        if i > 5 { s = s + 2; } else { s = s + 1; }
+        i = i + 1;
+    }
+    return s;
+}`
+	srcB := `
+func main(n) {
+    var s = 0;
+    var i = 0;
+    while i < n {
+        if i > 8 { s = s + 2; } else { s = s + 1; }
+        i = i + 1;
+    }
+    return s;
+}`
+	wa, ca := programBoth(t, srcA, 8, 30)
+	wb, cb := programBoth(t, srcB, 8, 30)
+	want := CompareSpectra(wa, wb)
+	combos := [][2]wpp.Artifact{{wa, wb}, {ca, cb}, {wa, cb}, {ca, wb}}
+	for _, combo := range combos {
+		got, err := CompareSpectraView(viewFor(t, combo[0], wpp.FormatV2), viewFor(t, combo[1], wpp.FormatV1), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%T vs %T: CompareSpectraView diverges from eager comparison", combo[0], combo[1])
+		}
+	}
+}

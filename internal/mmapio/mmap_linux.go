@@ -1,0 +1,45 @@
+//go:build linux
+
+package mmapio
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// open maps path read-only with a private mapping. Empty files cannot
+// be mapped (mmap rejects zero length), so they yield an empty unmapped
+// Data. The file descriptor is closed once the mapping exists; the
+// mapping keeps the pages alive.
+func open(path string) (*Data, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("mmapio: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("mmapio: %w", err)
+	}
+	size := fi.Size()
+	if size == 0 {
+		return &Data{}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("mmapio: %s: file too large to map (%d bytes)", path, size)
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		// Some filesystems refuse mmap; fall back to a plain read rather
+		// than failing an open the caller cannot distinguish.
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, fmt.Errorf("mmapio: mmap %s: %w", path, err)
+		}
+		return &Data{b: data}, nil
+	}
+	return &Data{b: b, mapped: true}, nil
+}
+
+func unmap(b []byte) error { return syscall.Munmap(b) }

@@ -1,0 +1,22 @@
+//go:build !linux
+
+package mmapio
+
+import (
+	"fmt"
+	"os"
+)
+
+// open reads the whole file; platforms without the mmap fast path get
+// identical semantics through a heap copy.
+func open(path string) (*Data, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("mmapio: %w", err)
+	}
+	return &Data{b: data}, nil
+}
+
+// unmap is unreachable in the fallback build (no Data is ever mapped)
+// but must exist for Close.
+func unmap([]byte) error { return nil }

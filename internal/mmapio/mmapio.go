@@ -1,0 +1,58 @@
+// Package mmapio provides read-only memory-mapped file access with a
+// portable fallback. On linux, Open maps the file with mmap(2) so large
+// artifacts can be indexed without copying their bytes through the heap;
+// elsewhere (and for empty files, which mmap rejects) it falls back to
+// os.ReadFile. Callers never branch on the platform: Bytes is valid
+// either way, and Mapped reports which path was taken.
+//
+// The mapping is private and read-only. The bytes must not be written
+// through, and Close invalidates them — callers must not retain slices
+// of Bytes past Close. Decoders that materialize structures from mapped
+// bytes copy what they keep, so releasing the mapping after
+// materialization is always safe.
+package mmapio
+
+import "fmt"
+
+// Data is one open file's contents: either a live mmap region or a heap
+// copy, depending on platform and file size.
+type Data struct {
+	b      []byte
+	mapped bool
+	closed bool
+}
+
+// Bytes returns the file contents. The slice is read-only and valid
+// only until Close.
+func (d *Data) Bytes() []byte { return d.b }
+
+// Len reports the content length in bytes.
+func (d *Data) Len() int { return len(d.b) }
+
+// Mapped reports whether the contents are a live memory mapping (true)
+// or a heap copy (false).
+func (d *Data) Mapped() bool { return d.mapped }
+
+// Close releases the mapping (or drops the copy). Bytes from this Data
+// must not be used afterwards. Close is idempotent.
+func (d *Data) Close() error {
+	if d == nil || d.closed {
+		return nil
+	}
+	d.closed = true
+	b := d.b
+	d.b = nil
+	if !d.mapped {
+		return nil
+	}
+	if err := unmap(b); err != nil {
+		return fmt.Errorf("mmapio: unmap: %w", err)
+	}
+	return nil
+}
+
+// Open opens path read-only: mmap where supported, a whole-file read
+// otherwise. The caller owns the returned Data and must Close it.
+func Open(path string) (*Data, error) {
+	return open(path)
+}

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/mmapio"
 	iwpp "repro/internal/wpp"
 )
 
@@ -233,11 +234,13 @@ func (s *Store) GetArtifact(h Hash) ([]byte, error) {
 }
 
 // ArtifactReader streams artifact h one part at a time — for a chunked
-// artifact, one chunk grammar in memory at once rather than the whole
-// encoding. Each object is hash-verified as it is loaded, and the
-// whole-artifact digest is checked before EOF is reported, so a reader
-// that drains to EOF has read exactly the stored bytes. The returned
-// size is the total byte count.
+// artifact, one chunk grammar resident at once rather than the whole
+// encoding. Parts are memory-mapped where the platform supports it and
+// unmapped as the read position crosses into the next part. Each object
+// is hash-verified as it is loaded, and the whole-artifact digest is
+// checked before EOF is reported, so a reader that drains to EOF has
+// read exactly the stored bytes. The returned size is the total byte
+// count.
 func (s *Store) ArtifactReader(h Hash) (io.ReadCloser, int64, error) {
 	m, err := s.Manifest(h)
 	if err != nil {
@@ -256,12 +259,19 @@ type artifactReader struct {
 	path   string
 	parts  []Hash
 	idx    int
-	cur    []byte
-	digest hash.Hash // running whole-artifact digest over bytes handed out
+	cur    *mmapio.Data // current part's mapping; nil between parts
+	off    int          // read offset into cur
+	digest hash.Hash    // running whole-artifact digest over bytes handed out
 }
 
 func (r *artifactReader) Read(p []byte) (int, error) {
-	for len(r.cur) == 0 {
+	for r.cur == nil || r.off >= r.cur.Len() {
+		if r.cur != nil {
+			if err := r.cur.Close(); err != nil {
+				return 0, err
+			}
+			r.cur, r.off = nil, 0
+		}
 		if r.idx >= len(r.parts) {
 			var got Hash
 			r.digest.Sum(got[:0])
@@ -271,20 +281,27 @@ func (r *artifactReader) Read(p []byte) (int, error) {
 			}
 			return 0, io.EOF
 		}
-		data, err := r.s.GetObject(r.parts[r.idx])
+		d, err := r.s.mapObject(r.parts[r.idx])
 		if err != nil {
 			return 0, err
 		}
 		r.idx++
-		r.cur = data
+		r.cur = d
 	}
-	n := copy(p, r.cur)
-	r.digest.Write(r.cur[:n])
-	r.cur = r.cur[n:]
+	n := copy(p, r.cur.Bytes()[r.off:])
+	r.digest.Write(r.cur.Bytes()[r.off : r.off+n])
+	r.off += n
 	return n, nil
 }
 
-func (r *artifactReader) Close() error { return nil }
+func (r *artifactReader) Close() error {
+	if r.cur != nil {
+		err := r.cur.Close()
+		r.cur = nil
+		return err
+	}
+	return nil
+}
 
 // FindArtifact resolves a hex prefix (at least 4 digits) to the unique
 // stored artifact hash it abbreviates. Ambiguous prefixes are an error;

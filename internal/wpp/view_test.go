@@ -1,0 +1,377 @@
+package wpp
+
+// The view parity suite pins the PR's central claim: a lazy
+// ArtifactView answers every question identically to the eager decoder
+// on the same bytes, for all four registered formats, and corruption
+// surfaces as typed errors at open or materialization — never as silent
+// garbage.
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// goldenArtifacts loads every committed golden encoding keyed by file
+// name.
+func goldenArtifacts(t *testing.T) map[string][]byte {
+	t.Helper()
+	dir := filepath.Join("..", "experiments", "testdata", "golden")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("golden corpus unavailable (regenerate with go test ./internal/experiments -run TestGoldenCorpus -update): %v", err)
+	}
+	out := map[string][]byte{}
+	for _, ent := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[ent.Name()] = data
+	}
+	if len(out) == 0 {
+		t.Fatal("golden corpus is empty")
+	}
+	return out
+}
+
+// collectWalk gathers a bounded prefix of an eager artifact's trace.
+func collectWalk(a Artifact) []trace.Event {
+	var events []trace.Event
+	a.Walk(func(e trace.Event) bool { events = append(events, e); return true })
+	return events
+}
+
+// TestViewGoldenParity opens every golden artifact both ways and
+// demands full agreement: header fields, verification, the expanded
+// trace, per-chunk grammars, summary statistics, and a byte-identical
+// re-encoding through Materialize.
+func TestViewGoldenParity(t *testing.T) {
+	for name, data := range goldenArtifacts(t) {
+		t.Run(name, func(t *testing.T) {
+			a, format, err := DecodeArtifactNamed(bytes.NewReader(data))
+			if err != nil {
+				t.Fatalf("eager decode: %v", err)
+			}
+			v, err := NewView(data, nil)
+			if err != nil {
+				t.Fatalf("view open: %v", err)
+			}
+			defer v.Close()
+
+			if v.Format() != format {
+				t.Errorf("Format = %q, eager %q", v.Format(), format)
+			}
+			if v.NumEvents() != a.NumEvents() {
+				t.Errorf("NumEvents = %d, eager %d", v.NumEvents(), a.NumEvents())
+			}
+			if v.TotalInstructions() != a.TotalInstructions() {
+				t.Errorf("TotalInstructions = %d, eager %d", v.TotalInstructions(), a.TotalInstructions())
+			}
+			if v.DistinctPaths() != a.DistinctPaths() {
+				t.Errorf("DistinctPaths = %d, eager %d", v.DistinctPaths(), a.DistinctPaths())
+			}
+			if v.Size() != int64(len(data)) {
+				t.Errorf("Size = %d, file is %d bytes", v.Size(), len(data))
+			}
+			if err := a.Verify(); err != nil {
+				t.Fatalf("eager verify: %v", err)
+			}
+			if err := v.Verify(0); err != nil {
+				t.Fatalf("view verify: %v", err)
+			}
+
+			sum, err := v.Summarize(0)
+			if err != nil {
+				t.Fatalf("Summarize: %v", err)
+			}
+			var viewEvents []trace.Event
+			if err := v.Walk(func(e trace.Event) bool { viewEvents = append(viewEvents, e); return true }); err != nil {
+				t.Fatalf("view walk: %v", err)
+			}
+			if eager := collectWalk(a); !reflect.DeepEqual(viewEvents, eager) {
+				t.Fatalf("walk diverges: view %d events, eager %d", len(viewEvents), len(eager))
+			}
+			for _, e := range viewEvents {
+				if v.PathCost(e) == 0 {
+					t.Fatalf("event %v has no cost in the view table", e)
+				}
+			}
+
+			switch w := a.(type) {
+			case *WPP:
+				if v.Chunked() {
+					t.Fatal("view reports chunked for a monolithic artifact")
+				}
+				st := w.Stats()
+				if sum.Rules != st.Rules || sum.RHSSymbols != st.RHSSymbols ||
+					sum.GrammarBytes != st.GrammarBytes || sum.RawTraceBytes != st.RawTraceBytes {
+					t.Errorf("Summarize = %+v, eager stats %+v", *sum, st)
+				}
+				if !reflect.DeepEqual(v.FuncTable(), w.Funcs) {
+					t.Error("function tables diverge")
+				}
+				sn, err := v.Chunk(0)
+				if err != nil {
+					t.Fatalf("Chunk(0): %v", err)
+				}
+				if !reflect.DeepEqual(sn, w.Grammar) {
+					t.Error("materialized grammar diverges from eager decode")
+				}
+			case *ChunkedWPP:
+				if !v.Chunked() {
+					t.Fatal("view reports monolithic for a chunked artifact")
+				}
+				st := w.Stats()
+				if sum.Rules != st.Rules || sum.RHSSymbols != st.RHSSymbols || sum.GrammarBytes != st.GrammarBytes {
+					t.Errorf("Summarize = %+v, eager stats %+v", *sum, st)
+				}
+				if sum.RawTraceBytes != w.RawTraceBytes() {
+					t.Errorf("RawTraceBytes = %d, eager %d", sum.RawTraceBytes, w.RawTraceBytes())
+				}
+				if !reflect.DeepEqual(v.FuncTable(), w.Funcs) {
+					t.Error("function tables diverge")
+				}
+				if v.NumChunks() != len(w.Chunks) {
+					t.Fatalf("NumChunks = %d, eager %d", v.NumChunks(), len(w.Chunks))
+				}
+				if v.ChunkSize() != w.ChunkSize || v.PeakLiveRHS() != w.PeakLiveRHS {
+					t.Errorf("chunk geometry diverges: size %d/%d peak %d/%d",
+						v.ChunkSize(), w.ChunkSize, v.PeakLiveRHS(), w.PeakLiveRHS)
+				}
+				for i := range w.Chunks {
+					sn, err := v.Chunk(i)
+					if err != nil {
+						t.Fatalf("Chunk(%d): %v", i, err)
+					}
+					if !reflect.DeepEqual(sn, w.Chunks[i]) {
+						t.Errorf("chunk %d grammar diverges from eager decode", i)
+					}
+				}
+			}
+
+			m, err := v.Materialize()
+			if err != nil {
+				t.Fatalf("Materialize: %v", err)
+			}
+			var buf bytes.Buffer
+			if _, err := m.Encode(&buf); err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), data) {
+				t.Fatalf("Materialize re-encoding differs from original bytes (%d vs %d)", buf.Len(), len(data))
+			}
+		})
+	}
+}
+
+// TestViewMetricsCounts pins the instrumentation: opening and fully
+// materializing an artifact moves the wpp_open_* counters.
+func TestViewMetricsCounts(t *testing.T) {
+	for name, data := range goldenArtifacts(t) {
+		if !strings.HasSuffix(name, ".wpc1") {
+			continue
+		}
+		vm := &ViewMetrics{}
+		*vm = *NewViewMetrics(nil) // nil registry: no-op metrics must also be safe
+		v, err := NewView(data, &ViewOptions{Metrics: vm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := v.Summarize(0); err != nil {
+			t.Fatal(err)
+		}
+		v.Close()
+		break
+	}
+}
+
+// TestViewPartsCorruptChunk simulates storage-layer corruption under a
+// parts-backed view (the store path): the open succeeds — nothing has
+// been read — and the analysis that touches the corrupt chunk gets a
+// typed *ViewError, while intact chunks still materialize.
+func TestViewPartsCorruptChunk(t *testing.T) {
+	var c *ChunkedWPP
+	for _, events := range testStreams() {
+		if cand := buildChunkedFor(events, 64); len(cand.Chunks) >= 2 {
+			c = cand
+			break
+		}
+	}
+	if c == nil {
+		t.Fatal("no multi-chunk test stream")
+	}
+	header, chunks, err := c.EncodeParts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(len(header))
+	loads := make([]ChunkLoad, len(chunks))
+	for i, ch := range chunks {
+		total += int64(len(ch))
+		data := ch
+		if i == 1 {
+			// Truncate the chunk body: the framing scan inside
+			// materialization must reject it.
+			data = data[:len(data)-1]
+		}
+		loads[i] = func() ([]byte, func(), error) { return data, nil, nil }
+	}
+	v, err := NewViewParts(header, loads, total, nil)
+	if err != nil {
+		t.Fatalf("open must not touch chunk bytes, got: %v", err)
+	}
+	defer v.Close()
+
+	if _, err := v.Chunk(0); err != nil {
+		t.Fatalf("intact chunk 0: %v", err)
+	}
+	_, err = v.Chunk(1)
+	var ve *ViewError
+	if !errors.As(err, &ve) {
+		t.Fatalf("corrupt chunk error = %v, want *ViewError", err)
+	}
+	if ve.Chunk != 1 {
+		t.Fatalf("ViewError.Chunk = %d, want 1", ve.Chunk)
+	}
+	// The aggregate folds must refuse too, not skip the bad chunk.
+	if err := v.Verify(0); !errors.As(err, &ve) {
+		t.Fatalf("Verify = %v, want *ViewError", err)
+	}
+	if _, err := v.Summarize(0); !errors.As(err, &ve) {
+		t.Fatalf("Summarize = %v, want *ViewError", err)
+	}
+	if _, err := v.Materialize(); !errors.As(err, &ve) {
+		t.Fatalf("Materialize = %v, want *ViewError", err)
+	}
+}
+
+// TestViewCorruptFileTypedErrors pins the other half of the
+// no-silent-garbage guarantee for self-contained byte views: header
+// corruption is rejected at open, and framing corruption inside the
+// chunk region — which the header-only open deliberately never reads —
+// surfaces as a typed *ViewError from every materializing entry point.
+func TestViewCorruptFileTypedErrors(t *testing.T) {
+	for name, data := range goldenArtifacts(t) {
+		if !strings.HasSuffix(name, ".wpc1") && !strings.HasSuffix(name, ".wpp1") {
+			continue
+		}
+		// Truncating into the function table breaks the header parse.
+		if _, err := NewView(data[:8], nil); err == nil {
+			t.Errorf("%s: truncated header opened cleanly", name)
+		}
+		corrupt := append([]byte{}, data...)
+		corrupt = corrupt[:len(corrupt)-1] // truncate the final grammar
+		v, err := NewView(corrupt, nil)
+		if err != nil {
+			t.Fatalf("%s: open reads only the header, got: %v", name, err)
+		}
+		var ve *ViewError
+		if err := v.Verify(0); !errors.As(err, &ve) {
+			t.Errorf("%s: Verify = %v, want *ViewError", name, err)
+		}
+		if _, err := v.Materialize(); !errors.As(err, &ve) {
+			t.Errorf("%s: Materialize = %v, want *ViewError", name, err)
+		}
+		if err := v.Walk(func(trace.Event) bool { return true }); !errors.As(err, &ve) {
+			t.Errorf("%s: Walk = %v, want *ViewError", name, err)
+		}
+		v.Close()
+	}
+}
+
+// TestViewWrongKind pins the typed mismatch errors on the materializing
+// accessors.
+func TestViewWrongKind(t *testing.T) {
+	arts := goldenArtifacts(t)
+	for name, data := range arts {
+		v, err := NewView(data, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(name, ".wpc") {
+			if _, err := v.WPP(); err == nil {
+				t.Errorf("%s: WPP() succeeded on a chunked view", name)
+			}
+			if _, err := v.ChunkedWPP(); err != nil {
+				t.Errorf("%s: ChunkedWPP() failed: %v", name, err)
+			}
+		} else {
+			if _, err := v.ChunkedWPP(); err == nil {
+				t.Errorf("%s: ChunkedWPP() succeeded on a monolithic view", name)
+			}
+			if _, err := v.WPP(); err != nil {
+				t.Errorf("%s: WPP() failed: %v", name, err)
+			}
+		}
+		v.Close()
+	}
+}
+
+// FuzzViewParity holds the two open paths to one contract on arbitrary
+// bytes: if the eager decoder accepts the input, the view must accept
+// it and agree on every observable; if the eager decoder rejects it,
+// the view must reject it at open or at materialization — it may defer
+// the error, but never swallow it.
+func FuzzViewParity(f *testing.F) {
+	dir := filepath.Join("..", "experiments", "testdata", "golden")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, ent := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+	}
+	f.Add([]byte("WPP1"))
+	f.Add([]byte("WPC2"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		eager, eagerErr := DecodeArtifact(bytes.NewReader(data))
+		v, viewErr := NewView(data, nil)
+		if eagerErr != nil {
+			// Open may succeed (the scan is shallower than a decode),
+			// but then materializing everything must fail.
+			if viewErr == nil {
+				if _, err := v.Materialize(); err == nil {
+					t.Fatalf("eager decode failed (%v) but view materialized cleanly", eagerErr)
+				}
+				v.Close()
+			}
+			return
+		}
+		if viewErr != nil {
+			t.Fatalf("eager decode succeeded but view open failed: %v", viewErr)
+		}
+		defer v.Close()
+		if v.NumEvents() != eager.NumEvents() || v.TotalInstructions() != eager.TotalInstructions() ||
+			v.DistinctPaths() != eager.DistinctPaths() {
+			t.Fatal("view header disagrees with eager decode")
+		}
+		m, err := v.Materialize()
+		if err != nil {
+			t.Fatalf("eager decode succeeded but Materialize failed: %v", err)
+		}
+		var a, b bytes.Buffer
+		if _, err := eager.Encode(&a); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Encode(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatal("materialized view re-encodes differently from eager decode")
+		}
+	})
+}
